@@ -1,0 +1,178 @@
+(* Benchmark harness: one Bechamel test per reproduced table, plus the
+   ablations called out in DESIGN.md.
+
+   - table1/<program>        : the full checking pipeline (parse, infer,
+                               elaborate, solve) per benchmark program — the
+                               work behind Table 1's generation/solving time.
+   - table2/<program>/<mode> : the cost-model VM workload under both access
+                               disciplines (virtual platform A).
+   - table3/<program>/<mode> : the compiled backend workload under both
+                               access disciplines (wall-clock platform B).
+   - ablation/solver/*       : tightened/plain Fourier-Motzkin vs rational
+                               simplex on the Figure 4 goal set.
+   - ablation/tighten/*      : the bcopy divisibility obligations with and
+                               without the integral tightening rule.
+
+   Absolute per-table rows come from `dmlc table1` / `dmlc table23`; this
+   harness measures the machinery itself and the design alternatives. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Table 1: the checking pipeline -------------------------------------- *)
+
+let pipeline_tests =
+  List.map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      Test.make
+        ~name:("table1/" ^ b.Dml_programs.Programs.name)
+        (Staged.stage (fun () ->
+             match Dml_core.Pipeline.check b.Dml_programs.Programs.source with
+             | Ok r -> assert r.Dml_core.Pipeline.rp_valid
+             | Error _ -> assert false)))
+    Dml_programs.Programs.table_benchmarks
+
+(* --- Tables 2/3 kernels ----------------------------------------------------- *)
+
+let checked_programs =
+  List.filter_map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      match Dml_core.Pipeline.check_valid b.Dml_programs.Programs.source with
+      | Ok r -> Some (b, r.Dml_core.Pipeline.rp_tprog)
+      | Error _ -> None)
+    Dml_programs.Programs.table_benchmarks
+
+(* the lighter workloads keep Bechamel iterations short; full-size rows come
+   from the dmlc harness *)
+let bench_kernel_names = [ "queen"; "hanoi towers"; "list access" ]
+
+let backend_tests =
+  List.concat_map
+    (fun ((b : Dml_programs.Programs.benchmark), tprog) ->
+      if not (List.mem b.Dml_programs.Programs.name bench_kernel_names) then []
+      else
+        List.concat_map
+          (fun (mode, mode_name) ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "table2/%s/%s" b.Dml_programs.Programs.name mode_name)
+                (Staged.stage (fun () ->
+                     let counters = Dml_eval.Prims.new_counters () in
+                     let env = Dml_eval.Cycles.initial_env mode counters in
+                     let env = Dml_eval.Cycles.run_program env tprog in
+                     b.Dml_programs.Programs.run
+                       { Dml_programs.Workloads.lookup = Dml_eval.Cycles.lookup env }
+                       ~scale:1));
+              Test.make
+                ~name:(Printf.sprintf "table3/%s/%s" b.Dml_programs.Programs.name mode_name)
+                (Staged.stage (fun () ->
+                     let ce = Dml_eval.Compile.initial_fast mode () in
+                     let ce = Dml_eval.Compile.run_program ce tprog in
+                     b.Dml_programs.Programs.run
+                       { Dml_programs.Workloads.lookup = Dml_eval.Compile.lookup ce }
+                       ~scale:1));
+            ])
+          [ (Dml_eval.Prims.Checked, "checked"); (Dml_eval.Prims.Unchecked, "unchecked") ])
+    checked_programs
+
+(* --- Ablation A: solver comparison on the Figure 4 goals --------------------- *)
+
+let bsearch_goals =
+  let open Dml_index in
+  let open Dml_constr in
+  let h = Ivar.fresh "h" and l = Ivar.fresh "l" and size = Ivar.fresh "size" in
+  let le a b = Idx.Bcmp (Idx.Rle, a, b) in
+  let ge a b = Idx.Bcmp (Idx.Rge, a, b) in
+  let lt a b = Idx.Bcmp (Idx.Rlt, a, b) in
+  let iv x = Idx.Ivar x in
+  let m = Idx.Iadd (iv l, Idx.Idiv (Idx.Isub (iv h, iv l), Idx.Iconst 2)) in
+  let hyps =
+    [
+      le (Idx.Iconst 0) (Idx.Iadd (iv h, Idx.Iconst 1));
+      le (Idx.Iadd (iv h, Idx.Iconst 1)) (iv size);
+      le (Idx.Iconst 0) (iv l);
+      le (iv l) (iv size);
+      ge (iv h) (iv l);
+    ]
+  in
+  let ctx = [ (h, Idx.Sint); (l, Idx.Sint); (size, Idx.Sint) ] in
+  let goal concl = { Constr.goal_vars = ctx; goal_hyps = hyps; goal_concl = concl } in
+  [
+    goal (lt m (iv size));
+    goal (ge (Idx.Iadd (Idx.Isub (m, Idx.Iconst 1), Idx.Iconst 1)) (Idx.Iconst 0));
+    goal (le (Idx.Iadd (Idx.Isub (m, Idx.Iconst 1), Idx.Iconst 1)) (iv size));
+    goal (ge (Idx.Iadd (m, Idx.Iconst 1)) (Idx.Iconst 0));
+    goal (le (Idx.Iadd (m, Idx.Iconst 1)) (iv size));
+  ]
+
+let solver_tests =
+  List.map
+    (fun (method_, name) ->
+      Test.make
+        ~name:("ablation/solver/" ^ name)
+        (Staged.stage (fun () ->
+             List.iter (fun g -> ignore (Dml_solver.Solver.check_goal ~method_ g)) bsearch_goals)))
+    [
+      (Dml_solver.Solver.Fm_tightened, "fm-tightened");
+      (Dml_solver.Solver.Fm_plain, "fm-plain");
+      (Dml_solver.Solver.Simplex_rational, "simplex");
+    ]
+
+(* --- Ablation B: integral tightening on the bcopy obligations ----------------- *)
+
+let tighten_tests =
+  List.map
+    (fun (method_, name) ->
+      Test.make
+        ~name:("ablation/tighten/" ^ name)
+        (Staged.stage (fun () ->
+             match Dml_core.Pipeline.check ~method_ Dml_programs.Sources.bcopy with
+             | Ok r ->
+                 (* with tightening every obligation is proven; without, the
+                    divisibility obligations stay open (the solver also pays
+                    for the failed refutation and the model search) *)
+                 ignore r.Dml_core.Pipeline.rp_valid
+             | Error _ -> assert false)))
+    [ (Dml_solver.Solver.Fm_tightened, "with"); (Dml_solver.Solver.Fm_plain, "without") ]
+
+(* --- stdlib kernels: the verified merge/insertion sorts -------------------------- *)
+
+let stdlib_tests =
+  match Dml_core.Pipeline.check_valid Dml_programs.Stdlib_dml.source with
+  | Error _ -> []
+  | Ok r ->
+      let tprog = r.Dml_core.Pipeline.rp_tprog in
+      let input = Dml_eval.Value.of_int_list (List.init 400 (fun i -> (i * 7919) mod 1000)) in
+      List.map
+        (fun fname ->
+          Test.make ~name:("stdlib/" ^ fname)
+            (Staged.stage (fun () ->
+                 let ce = Dml_eval.Compile.initial_fast Dml_eval.Prims.Unchecked () in
+                 let ce = Dml_eval.Compile.run_program ce tprog in
+                 ignore
+                   (Dml_eval.Value.as_fun (Dml_eval.Compile.lookup ce fname) input))))
+        [ "isort"; "msort" ]
+
+(* --- driver --------------------------------------------------------------------- *)
+
+let () =
+  let tests = pipeline_tests @ solver_tests @ tighten_tests @ backend_tests @ stdlib_tests in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"dml" tests)
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let est =
+          match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  Printf.printf "%-44s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-44s %16.0f\n" name est)
+    (List.sort compare rows)

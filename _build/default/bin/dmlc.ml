@@ -1,0 +1,182 @@
+(* dmlc: the command-line driver.
+
+   - [dmlc check FILE]       type check a program (phases 1 and 2 + solving)
+   - [dmlc constraints FILE] print every generated constraint with its verdict
+   - [dmlc run FILE NAME]    evaluate a program and print a binding
+   - [dmlc table1]           regenerate the paper's Table 1
+   - [dmlc table23]          regenerate Table 2 (interp) or 3 (compiled)
+   - [dmlc list]             list the bundled benchmark programs *)
+
+open Cmdliner
+open Dml_core
+
+let read_source path_or_name =
+  match Dml_programs.Programs.find path_or_name with
+  | Some b -> Ok b.Dml_programs.Programs.source
+  | None -> (
+      try
+        let ic = open_in path_or_name in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok s
+      with Sys_error msg -> Error msg)
+
+let solver_method =
+  let methods =
+    [
+      ("fm", Dml_solver.Solver.Fm_tightened);
+      ("fm-plain", Dml_solver.Solver.Fm_plain);
+      ("simplex", Dml_solver.Solver.Simplex_rational);
+    ]
+  in
+  let doc = "Constraint solver: fm (Fourier-Motzkin with integral tightening), fm-plain, simplex." in
+  Arg.(value & opt (enum methods) Dml_solver.Solver.Fm_tightened & info [ "solver" ] ~doc)
+
+let file_arg =
+  let doc = "Program file, or the name of a bundled benchmark (see $(b,dmlc list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let exit_err msg =
+  prerr_endline msg;
+  exit 1
+
+(* --- check ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run method_ file =
+    match read_source file with
+    | Error msg -> exit_err msg
+    | Ok src -> (
+        match Pipeline.check ~method_ src with
+        | Error f -> exit_err (Diagnose.render_failure ~src f)
+        | Ok report ->
+            Format.printf "%a@." Pipeline.pp_report report;
+            List.iter
+              (fun (msg, loc) ->
+                Format.printf "warning at %a: %s@." Dml_lang.Loc.pp loc msg)
+              report.Pipeline.rp_warnings;
+            print_string (Diagnose.render_report ~src report);
+            if not report.Pipeline.rp_valid then exit 1)
+  in
+  let doc = "Type check a program with dependent types and solve its constraints." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ solver_method $ file_arg)
+
+(* --- constraints ---------------------------------------------------------------- *)
+
+let constraints_cmd =
+  let run method_ file =
+    match read_source file with
+    | Error msg -> exit_err msg
+    | Ok src -> (
+        match Pipeline.check ~method_ src with
+        | Error f -> exit_err (Pipeline.failure_to_string f)
+        | Ok report ->
+            List.iter
+              (fun co ->
+                Format.printf "--- %s at %a [%a]@.%a@.@."
+                  co.Pipeline.co_obligation.Elab.ob_what Dml_lang.Loc.pp
+                  co.Pipeline.co_obligation.Elab.ob_loc Dml_solver.Solver.pp_verdict
+                  co.Pipeline.co_verdict Dml_constr.Constr.pp
+                  co.Pipeline.co_obligation.Elab.ob_constr)
+              report.Pipeline.rp_obligations)
+  in
+  let doc = "Print every constraint generated during elaboration, with its verdict." in
+  Cmd.v (Cmd.info "constraints" ~doc) Term.(const run $ solver_method $ file_arg)
+
+(* --- run -------------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run file binding unchecked backend =
+    match read_source file with
+    | Error msg -> exit_err msg
+    | Ok src -> (
+        match Pipeline.check_valid src with
+        | Error msg -> exit_err msg
+        | Ok report ->
+            let tprog = report.Pipeline.rp_tprog in
+            let mode = if unchecked then Dml_eval.Prims.Unchecked else Dml_eval.Prims.Checked in
+            let lookup =
+              match backend with
+              | `Interp ->
+                  let env = Dml_eval.Interp.initial_env (Dml_eval.Prims.table mode ()) in
+                  Dml_eval.Interp.lookup (Dml_eval.Interp.run_program env tprog)
+              | `Compiled ->
+                  let ce = Dml_eval.Compile.initial (Dml_eval.Prims.table mode ()) in
+                  Dml_eval.Compile.lookup (Dml_eval.Compile.run_program ce tprog)
+            in
+            Format.printf "%s = %a@." binding Dml_eval.Value.pp (lookup binding))
+  in
+  let binding =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"BINDING" ~doc:"Binding to print.")
+  in
+  let unchecked =
+    Arg.(value & flag & info [ "unchecked" ] ~doc:"Use unchecked array primitives.")
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("interp", `Interp); ("compiled", `Compiled) ]) `Compiled
+      & info [ "backend" ] ~doc:"Evaluation backend.")
+  in
+  let doc = "Type check, evaluate, and print a top-level binding." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ binding $ unchecked $ backend)
+
+(* --- tables ------------------------------------------------------------------------- *)
+
+let table1_cmd =
+  let run () = Dml_programs.Tables.print_table1 Format.std_formatter () in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.") Term.(const run $ const ())
+
+let table23_cmd =
+  let run backend scale =
+    Dml_programs.Tables.print_table23 Format.std_formatter backend ~scale
+  in
+  let backend =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("cost-model", Dml_programs.Tables.Cost_model);
+               ("compiled", Dml_programs.Tables.Compiled);
+             ])
+          Dml_programs.Tables.Compiled
+      & info [ "backend" ] ~doc:"cost-model regenerates Table 2, compiled Table 3.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Workload multiplier.")
+  in
+  Cmd.v
+    (Cmd.info "table23" ~doc:"Regenerate the paper's Tables 2/3 on a backend.")
+    Term.(const run $ backend $ scale)
+
+let pretty_cmd =
+  let run file =
+    match read_source file with
+    | Error msg -> exit_err msg
+    | Ok src -> (
+        match Dml_lang.Parser.parse_program src with
+        | prog -> print_string (Dml_lang.Pretty.program_to_string prog)
+        | exception Dml_lang.Parser.Error (msg, loc) ->
+            exit_err (Format.asprintf "syntax error at %a: %s" Dml_lang.Loc.pp loc msg)
+        | exception Dml_lang.Lexer.Error (msg, loc) ->
+            exit_err (Format.asprintf "lexical error at %a: %s" Dml_lang.Loc.pp loc msg))
+  in
+  let doc = "Parse a program and print it back formatted (a round-trip formatter)." in
+  Cmd.v (Cmd.info "pretty" ~doc) Term.(const run $ file_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        Format.printf "%-14s %s@.               workload: %s@." b.Dml_programs.Programs.name
+          b.Dml_programs.Programs.description b.Dml_programs.Programs.workload_note)
+      Dml_programs.Programs.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark programs.") Term.(const run $ const ())
+
+let () =
+  let doc = "dependent ML: array bound check elimination through dependent types" in
+  let info = Cmd.info "dmlc" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ check_cmd; constraints_cmd; run_cmd; pretty_cmd; table1_cmd; table23_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/catch_bugs.ml: Dml_core Dml_lang Dml_solver Elab Format List Pipeline

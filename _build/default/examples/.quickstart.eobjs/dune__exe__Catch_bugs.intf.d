@@ -1,0 +1,1 @@
+examples/catch_bugs.mli:

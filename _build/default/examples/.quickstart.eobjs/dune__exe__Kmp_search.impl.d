@@ -1,0 +1,1 @@
+examples/kmp_search.ml: Array Char Compile Dml_core Dml_eval Dml_programs Format List Pipeline Prims String Value

@@ -1,0 +1,1 @@
+examples/kmp_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compile Dml_constr Dml_core Dml_eval Dml_solver Elab Format List Pipeline Prims Value

@@ -1,0 +1,1 @@
+examples/sorting.ml: Array Compile Dml_core Dml_eval Dml_programs Format List Pipeline Prims Value

@@ -1,0 +1,1 @@
+examples/text_scan.ml: Compile Dml_core Dml_eval Format List Pipeline Prims Value

@@ -1,0 +1,94 @@
+(* The other half of the paper's pitch (Section 1): "many (often trivial)
+   errors can be detected early, during dependent type checking rather than
+   at run-time."  Each program below contains a classic off-by-one or
+   wrong-invariant bug; the checker rejects every one, and the failed
+   constraint comes with a verified counterexample assignment.
+
+   Run with: dune exec examples/catch_bugs.exe *)
+
+open Dml_core
+
+let buggy_programs =
+  [
+    ( "loop runs one past the end",
+      {|
+fun sumall(v) = let
+  fun loop(i, n, acc) =
+    if i <= n then loop(i+1, n, acc + sub(v, i)) else acc
+  where loop <| {n:nat | n <= p} {i:nat | i <= n} int(i) * int(n) * int -> int
+in
+  loop(0, length v, 0)
+end
+where sumall <| {p:nat} int array(p) -> int
+|} );
+    ( "binary search starting at length instead of length - 1",
+      {|
+fun('a){size:nat} bsearch cmp (key, arr) = let
+  fun look(lo, hi) =
+    if hi >= lo then
+      let val m = lo + (hi - lo) div 2
+          val x = sub(arr, m)
+      in case cmp(key, x) of
+           LESS => look(lo, m-1)
+         | EQUAL => SOME(m, x)
+         | GREATER => look(m+1, hi)
+      end
+    else NONE
+  where look <| {l:nat | 0 <= l <= size} {h:int | 0 <= h+1 <= size}
+               int(l) * int(h) -> (int * 'a) option
+in
+  look(0, length arr)
+end
+where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> (int * 'a) option
+|} );
+    ( "reverse claimed to preserve only the first list's length",
+      {|
+fun reverse(l) = let
+  fun rev(nil, ys) = ys
+    | rev(x::xs, ys) = rev(xs, x::ys)
+  where rev <| {m:nat} {n:nat} 'a list(m) * 'a list(n) -> 'a list(m)
+in
+  rev(l, nil)
+end
+where reverse <| {n:nat} 'a list(n) -> 'a list(n)
+|} );
+    ( "negative index literal",
+      {|
+val a = array(8, 0)
+val x = sub(a, ~1)
+|} );
+    ( "swap without the bounds qualifiers",
+      {|
+fun swap(a, i, j) = let
+  val t = sub(a, i)
+in
+  (update(a, i, sub(a, j)); update(a, j, t))
+end
+where swap <| {n:nat} int array(n) * int * int -> unit
+|} );
+  ]
+
+let () =
+  let rejected = ref 0 in
+  List.iter
+    (fun (what, src) ->
+      Format.printf "== %s ==@." what;
+      match Pipeline.check src with
+      | Error f -> Format.printf "  rejected before solving: %s@.@." (Pipeline.failure_to_string f)
+      | Ok report ->
+          if report.Pipeline.rp_valid then Format.printf "  UNEXPECTEDLY ACCEPTED@.@."
+          else begin
+            incr rejected;
+            List.iter
+              (fun co ->
+                if co.Pipeline.co_verdict <> Dml_solver.Solver.Valid then
+                  Format.printf "  %s at %a@.    %a@." co.Pipeline.co_obligation.Elab.ob_what
+                    Dml_lang.Loc.pp co.Pipeline.co_obligation.Elab.ob_loc
+                    Dml_solver.Solver.pp_verdict co.Pipeline.co_verdict)
+              report.Pipeline.rp_obligations;
+            Format.printf "@."
+          end)
+    buggy_programs;
+  Format.printf "%d of %d buggy programs rejected by unproven constraints.@." !rejected
+    (List.length buggy_programs);
+  assert (!rejected = List.length buggy_programs)

@@ -1,0 +1,1 @@
+lib/constr/constr.ml: Dml_index Format Idx Ivar List Option

@@ -1,0 +1,1 @@
+lib/constr/constr.mli: Dml_index Format Idx Ivar

@@ -1,0 +1,1 @@
+lib/core/denv.ml: Ast Dml_index Dml_lang Dml_mltype Dtype Format Idx Ivar List Map Mltype String Tast Tyenv

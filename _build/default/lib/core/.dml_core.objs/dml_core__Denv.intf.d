@@ -1,0 +1,1 @@
+lib/core/denv.mli: Ast Dml_index Dml_lang Dml_mltype Dtype Idx Ivar Map Mltype Tast Tyenv

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Buffer Dml_constr Dml_lang Dml_solver Elab Format List Loc Pipeline Printf Solver String

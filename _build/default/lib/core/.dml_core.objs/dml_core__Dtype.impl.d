@@ -1,0 +1,1 @@
+lib/core/dtype.ml: Dml_index Format Idx Ivar List

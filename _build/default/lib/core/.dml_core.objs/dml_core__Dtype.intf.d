@@ -1,0 +1,1 @@
+lib/core/dtype.mli: Dml_index Format Idx Ivar

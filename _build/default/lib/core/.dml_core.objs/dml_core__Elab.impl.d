@@ -1,0 +1,1 @@
+lib/core/elab.ml: Constr Denv Dml_constr Dml_index Dml_lang Dml_mltype Dtype Format Idx Ivar List Loc Mltype Option Printf String Tast Tyenv

@@ -1,0 +1,1 @@
+lib/core/elab.mli: Constr Denv Dml_constr Dml_lang Dml_mltype Loc Tast

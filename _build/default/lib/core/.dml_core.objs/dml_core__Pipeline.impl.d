@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Basis Denv Dml_lang Dml_mltype Dml_solver Elab Format Hashtbl Infer Lexer List Loc Parser Printf Solver String Sys Tast Tyenv

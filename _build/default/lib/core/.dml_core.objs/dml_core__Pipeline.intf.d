@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Denv Dml_lang Dml_mltype Dml_solver Elab Format Infer Loc Solver Tast

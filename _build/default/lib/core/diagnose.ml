@@ -1,0 +1,69 @@
+open Dml_lang
+open Dml_solver
+
+let source_lines src = Array.of_list (String.split_on_char '\n' src)
+
+(* Render the source line(s) under a location with a caret underline. *)
+let excerpt src (loc : Loc.t) =
+  let lines = source_lines src in
+  let first = loc.Loc.start_pos.Loc.line and last = loc.Loc.end_pos.Loc.line in
+  if first < 1 || first > Array.length lines then ""
+  else begin
+    let buf = Buffer.create 128 in
+    let render_line i =
+      let text = lines.(i - 1) in
+      Buffer.add_string buf (Printf.sprintf "  %4d | %s\n" i text);
+      if i = first then begin
+        let from_col = loc.Loc.start_pos.Loc.col in
+        let to_col =
+          if first = last then max (loc.Loc.end_pos.Loc.col - 1) from_col
+          else String.length text
+        in
+        Buffer.add_string buf "       | ";
+        for c = 1 to to_col do
+          Buffer.add_char buf (if c >= from_col then '^' else ' ')
+        done;
+        Buffer.add_char buf '\n'
+      end
+    in
+    let last = min last (Array.length lines) in
+    for i = first to min last (first + 2) do
+      render_line i
+    done;
+    Buffer.contents buf
+  end
+
+let render_obligation ~src (co : Pipeline.checked_obligation) =
+  match co.Pipeline.co_verdict with
+  | Solver.Valid -> None
+  | verdict ->
+      let ob = co.Pipeline.co_obligation in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Format.asprintf "Unproven constraint: %s at %a@." ob.Elab.ob_what Loc.pp ob.Elab.ob_loc);
+      Buffer.add_string buf (excerpt src ob.Elab.ob_loc);
+      Buffer.add_string buf
+        (Format.asprintf "  constraint: %a@." Dml_constr.Constr.pp ob.Elab.ob_constr);
+      (match verdict with
+      | Solver.Not_valid hint -> Buffer.add_string buf (Printf.sprintf "  %s\n" hint)
+      | Solver.Unsupported msg ->
+          Buffer.add_string buf
+            (Printf.sprintf "  outside the linear fragment: %s\n" msg)
+      | Solver.Valid -> ());
+      Buffer.add_string buf
+        "  hint: strengthen the where-clause invariant or use the checked (..CK) access.\n";
+      Some (Buffer.contents buf)
+
+let render_report ~src (report : Pipeline.report) =
+  if report.Pipeline.rp_valid then
+    Printf.sprintf "All %d constraints proven; array accesses compile unchecked.\n"
+      report.Pipeline.rp_constraints
+  else begin
+    let failures = List.filter_map (render_obligation ~src) report.Pipeline.rp_obligations in
+    String.concat "\n" failures
+    ^ Printf.sprintf "\n%d of %d constraints unproven.\n" (List.length failures)
+        report.Pipeline.rp_constraints
+  end
+
+let render_failure ~src (f : Pipeline.failure) =
+  Format.asprintf "%a@.%s" Pipeline.pp_failure f (excerpt src f.Pipeline.f_loc)

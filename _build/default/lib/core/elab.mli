@@ -1,0 +1,31 @@
+(** Phase-2 elaboration (Section 3): a bidirectional traversal of the typed
+    AST that checks dependent annotations and collects index constraints.
+
+    Synthesis returns an (extended) context together with an "opened" type:
+    top-level existential indices are replaced by fresh universal variables
+    whose sort refinements become hypotheses.  Checking pushes universal
+    quantifiers and hypotheses (from conditional branches and pattern
+    matching) into the context; every atomic obligation is emitted wrapped
+    in its full context prefix, exactly as the sample constraints of
+    Figure 4. *)
+
+open Dml_lang
+open Dml_constr
+open Dml_mltype
+
+exception Error of string * Loc.t
+
+type obligation = {
+  ob_constr : Constr.t;  (** closed constraint, quantifier prefix included *)
+  ob_loc : Loc.t;
+  ob_what : string;  (** human-readable provenance, e.g. "argument 2 of sub" *)
+}
+
+type result = {
+  res_denv : Denv.t;  (** final environment (for further elaboration) *)
+  res_obligations : obligation list;  (** in generation order *)
+}
+
+val elaborate : Denv.t -> Tast.tprogram -> result
+(** @raise Error on a dependent-type error detectable without solving
+    (arity/kind mismatches, non-matching type structure, unknown names). *)

@@ -1,0 +1,135 @@
+open Dml_lang
+open Dml_solver
+open Dml_mltype
+
+type failure = {
+  f_stage : [ `Lex | `Parse | `Mltype | `Elab ];
+  f_msg : string;
+  f_loc : Loc.t;
+}
+
+type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
+
+type report = {
+  rp_obligations : checked_obligation list;
+  rp_valid : bool;
+  rp_constraints : int;
+  rp_gen_time : float;
+  rp_solve_time : float;
+  rp_solver_stats : Solver.stats;
+  rp_annotations : int;
+  rp_annotation_lines : int;
+  rp_code_lines : int;
+  rp_tprog : Tast.tprogram;
+  rp_user_tprog : Tast.tprogram;
+  rp_warnings : (string * Loc.t) list;
+  rp_mlenv : Infer.env;
+  rp_denv : Denv.t;
+}
+
+let count_code_lines src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.exists (fun c -> c <> ' ' && c <> '\t' && c <> '\r') l)
+  |> List.length
+
+let annotation_metrics spans =
+  let lines = Hashtbl.create 32 in
+  List.iter
+    (fun (a, b) ->
+      for l = a to b do
+        Hashtbl.replace lines l ()
+      done)
+    spans;
+  (List.length spans, Hashtbl.length lines)
+
+let check ?(method_ = Solver.Fm_tightened) src =
+  try
+    let t0 = Sys.time () in
+    (* parse the basis, then the user program (keeping its annotation spans) *)
+    let basis_prog = Parser.parse_program Basis.source in
+    let user_prog = Parser.parse_program src in
+    let annotations, annotation_lines = annotation_metrics !Parser.annotation_spans in
+    (* phase 1 over basis + user code *)
+    let ml0 = Infer.initial Tyenv.builtin [] in
+    let mlenv, tprog = Infer.infer_program ml0 (basis_prog @ user_prog) in
+    let basis_len = List.length basis_prog in
+    let user_tprog = List.filteri (fun i _ -> i >= basis_len) tprog in
+    (* phase 2 *)
+    let denv0 = Denv.builtin mlenv.Infer.tyenv in
+    let { Elab.res_denv; res_obligations } = Elab.elaborate denv0 tprog in
+    let gen_time = Sys.time () -. t0 in
+    (* solve *)
+    let stats = Solver.new_stats () in
+    let t1 = Sys.time () in
+    let obligations =
+      List.map
+        (fun ob ->
+          {
+            co_obligation = ob;
+            co_verdict = Solver.check_constraint ~method_ ~stats ob.Elab.ob_constr;
+          })
+        res_obligations
+    in
+    let solve_time = Sys.time () -. t1 in
+    Ok
+      {
+        rp_obligations = obligations;
+        rp_valid = List.for_all (fun co -> co.co_verdict = Solver.Valid) obligations;
+        rp_constraints = List.length obligations;
+        rp_gen_time = gen_time;
+        rp_solve_time = solve_time;
+        rp_solver_stats = stats;
+        rp_annotations = annotations;
+        rp_annotation_lines = annotation_lines;
+        rp_code_lines = count_code_lines src;
+        rp_tprog = tprog;
+        rp_user_tprog = user_tprog;
+        rp_warnings = List.rev !(mlenv.Infer.warnings);
+        rp_mlenv = mlenv;
+        rp_denv = res_denv;
+      }
+  with
+  | Lexer.Error (msg, loc) -> Error { f_stage = `Lex; f_msg = msg; f_loc = loc }
+  | Parser.Error (msg, loc) -> Error { f_stage = `Parse; f_msg = msg; f_loc = loc }
+  | Infer.Type_error (msg, loc) -> Error { f_stage = `Mltype; f_msg = msg; f_loc = loc }
+  | Elab.Error (msg, loc) -> Error { f_stage = `Elab; f_msg = msg; f_loc = loc }
+
+let stage_name = function
+  | `Lex -> "lexical error"
+  | `Parse -> "syntax error"
+  | `Mltype -> "type error"
+  | `Elab -> "dependent type error"
+
+let pp_failure fmt f =
+  Format.fprintf fmt "%s at %a: %s" (stage_name f.f_stage) Loc.pp f.f_loc f.f_msg
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+let check_valid src =
+  match check src with
+  | Error f -> Error (failure_to_string f)
+  | Ok report ->
+      if report.rp_valid then Ok report
+      else begin
+        let failing =
+          List.filter (fun co -> co.co_verdict <> Solver.Valid) report.rp_obligations
+        in
+        let msgs =
+          List.map
+            (fun co ->
+              Format.asprintf "%s at %a: %a" co.co_obligation.Elab.ob_what Loc.pp
+                co.co_obligation.Elab.ob_loc Solver.pp_verdict co.co_verdict)
+            failing
+        in
+        Error
+          (Printf.sprintf "%d unproven constraint(s):\n%s" (List.length failing)
+             (String.concat "\n" msgs))
+      end
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>constraints: %d (%s)@ generation: %.4fs, solving: %.4fs@ annotations: %d on %d \
+     line(s), %d code line(s)@]"
+    r.rp_constraints
+    (if r.rp_valid then "all valid" else "SOME UNPROVEN")
+    r.rp_gen_time r.rp_solve_time r.rp_annotations r.rp_annotation_lines r.rp_code_lines

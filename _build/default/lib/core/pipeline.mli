@@ -1,0 +1,46 @@
+(** The end-to-end checking pipeline: parse, ML inference (phase 1),
+    dependent elaboration (phase 2), constraint solving.
+
+    The basis ({!Basis.source}) is processed through the same pipeline
+    before the user program. *)
+
+open Dml_lang
+open Dml_solver
+open Dml_mltype
+
+type failure = {
+  f_stage : [ `Lex | `Parse | `Mltype | `Elab ];
+  f_msg : string;
+  f_loc : Loc.t;
+}
+
+type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
+
+type report = {
+  rp_obligations : checked_obligation list;
+  rp_valid : bool;  (** all obligations proved *)
+  rp_constraints : int;  (** number of generated constraints *)
+  rp_gen_time : float;  (** CPU seconds: parse + phase 1 + phase 2 *)
+  rp_solve_time : float;  (** CPU seconds: constraint solving *)
+  rp_solver_stats : Solver.stats;
+  rp_annotations : int;  (** number of type annotations in the user program *)
+  rp_annotation_lines : int;  (** distinct source lines they occupy *)
+  rp_code_lines : int;  (** non-blank lines of the user program *)
+  rp_tprog : Tast.tprogram;  (** basis + user program, typed (for evaluation) *)
+  rp_user_tprog : Tast.tprogram;  (** the user program alone *)
+  rp_warnings : (string * Loc.t) list;
+      (** pattern-match warnings from phase 1, in source order *)
+  rp_mlenv : Infer.env;
+  rp_denv : Denv.t;
+}
+
+val check : ?method_:Solver.method_ -> string -> (report, failure) result
+(** Runs the full pipeline on a user program (the basis is prepended). *)
+
+val check_valid : string -> (report, string) result
+(** Like {!check} but also turns unproven obligations into an error
+    message listing the failing constraints. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/eval/compile.ml: Dml_mltype List Mltype Prims Tast Value

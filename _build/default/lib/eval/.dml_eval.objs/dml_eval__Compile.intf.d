@@ -1,0 +1,1 @@
+lib/eval/compile.mli: Dml_mltype Prims Tast Value

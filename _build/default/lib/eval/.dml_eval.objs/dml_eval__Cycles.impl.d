@@ -1,0 +1,1 @@
+lib/eval/cycles.ml: Dml_mltype List Map Mltype Prims String Tast Value

@@ -1,0 +1,1 @@
+lib/eval/cycles.mli: Dml_mltype Prims Tast Value

@@ -1,0 +1,1 @@
+lib/eval/interp.ml: Dml_mltype List Map Mltype String Tast Value

@@ -1,0 +1,1 @@
+lib/eval/interp.mli: Dml_mltype Map Tast Value

@@ -1,0 +1,1 @@
+lib/eval/prims.ml: Array Char List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/eval/prims.mli: Value

@@ -1,0 +1,1 @@
+lib/eval/value.ml: Array Format List

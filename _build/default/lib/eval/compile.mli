@@ -1,0 +1,29 @@
+(** Closure-compiling backend — the faster of the two evaluation backends
+    ("platform B", standing in for the paper's MLWorks-on-SPARC measurements
+    in Table 3).
+
+    Expressions are compiled once into OCaml closures with variable accesses
+    resolved to list positions; running the program performs no AST traversal
+    or name lookup.  Saturated applications of primitives compile to direct
+    n-ary calls without tuple allocation (a real compiler's calling
+    convention), which is what makes the cost of a bounds check visible in
+    the run time. *)
+
+open Dml_mltype
+
+type compiled_env
+
+val initial : (string * Value.t) list -> compiled_env
+(** Environment from a plain value table; no direct-call optimisation. *)
+
+val initial_fast : Prims.mode -> ?counters:Prims.counters -> unit -> compiled_env
+(** Environment from {!Prims.fast_table} with direct primitive calls. *)
+
+exception Match_failure_dml of string
+
+val run_program : compiled_env -> Tast.tprogram -> compiled_env
+val lookup : compiled_env -> string -> Value.t
+(** @raise Value.Runtime_error when unbound. *)
+
+val eval_exp : compiled_env -> Tast.texp -> Value.t
+(** Compile and immediately run one expression in the given environment. *)

@@ -1,0 +1,217 @@
+open Dml_mltype
+open Value
+module SMap = Map.Make (String)
+
+exception Match_failure_dml of string
+
+type env = {
+  bindings : Value.t SMap.t;
+  prims : Prims.fast SMap.t;
+      (* costed primitives for inlined direct calls; the benchmark programs
+         never rebind primitive names, so recognition by name is safe *)
+  cnt : Prims.counters;
+}
+
+let counters env = env.cnt
+
+let initial_env mode cnt =
+  let costed = Prims.costed_table mode cnt () in
+  let bindings = List.fold_left (fun m (x, v) -> SMap.add x v m) SMap.empty costed in
+  let prims =
+    List.fold_left
+      (fun m (x, f) -> SMap.add x (Prims.with_cost cnt (Prims.flat_cost x) f) m)
+      SMap.empty
+      (Prims.fast_table mode ~counters:cnt ())
+  in
+  { bindings; prims; cnt }
+
+let lookup env x =
+  match SMap.find_opt x env.bindings with
+  | Some v -> v
+  | None -> raise (Runtime_error ("unbound variable at run time: " ^ x))
+
+let rec match_pat v (p : Tast.tpat) bindings =
+  match (p.Tast.tpdesc, v) with
+  | Tast.TPwild, _ -> Some bindings
+  | Tast.TPvar x, _ -> Some ((x, v) :: bindings)
+  | Tast.TPint n, Vint m -> if n = m then Some bindings else None
+  | Tast.TPbool b, Vbool c -> if b = c then Some bindings else None
+  | Tast.TPchar a, Vchar b -> if a = b then Some bindings else None
+  | Tast.TPstring a, Vstring b -> if a = b then Some bindings else None
+  | Tast.TPtuple ps, Vtuple vs when List.length ps = List.length vs ->
+      let rec go ps vs bindings =
+        match (ps, vs) with
+        | [], [] -> Some bindings
+        | p :: ps, v :: vs -> (
+            match match_pat v p bindings with Some b -> go ps vs b | None -> None)
+        | _ -> None
+      in
+      go ps vs bindings
+  | Tast.TPcon (c, _, None), Vcon (c', None) -> if c = c' then Some bindings else None
+  | Tast.TPcon (c, _, Some arg), Vcon (c', Some v') ->
+      if c = c' then match_pat v' arg bindings else None
+  | _ -> None
+
+let bind_all env bindings =
+  { env with bindings = List.fold_left (fun m (x, v) -> SMap.add x v m) env.bindings bindings }
+
+let rec eval_exp env (e : Tast.texp) : Value.t =
+  let tick n = env.cnt.Prims.cycles <- env.cnt.Prims.cycles + n in
+  match e.Tast.tdesc with
+  | Tast.TEint n ->
+      tick 1;
+      Vint n
+  | Tast.TEbool b ->
+      tick 1;
+      Vbool b
+  | Tast.TEchar c ->
+      tick 1;
+      Vchar c
+  | Tast.TEstring s ->
+      tick 1;
+      Vstring s
+  | Tast.TEvar (x, _) ->
+      tick 1;
+      lookup env x
+  | Tast.TEcon (c, _, None) -> begin
+      tick 1;
+      match Mltype.repr e.Tast.tty with
+      | Mltype.Tarrow _ -> Vfun (fun v -> Vcon (c, Some v))
+      | _ -> Vcon (c, None)
+    end
+  | Tast.TEcon (c, _, Some arg) ->
+      tick 3;
+      Vcon (c, Some (eval_exp env arg))
+  | Tast.TEtuple es ->
+      tick (2 + List.length es);
+      Vtuple (List.map (eval_exp env) es)
+  | Tast.TEapp ({ Tast.tdesc = Tast.TEvar (x, _); _ }, a) when SMap.mem x env.prims -> begin
+      (* a native compiler inlines primitive applications: no call or
+         argument-tuple cost, only the primitive's own work (charged inside
+         the costed primitive itself) *)
+      match (SMap.find x env.prims, a.Tast.tdesc) with
+      | Prims.F1 g, _ -> g (eval_exp env a)
+      | Prims.F2 g, Tast.TEtuple [ e1; e2 ] ->
+          let v1 = eval_exp env e1 in
+          let v2 = eval_exp env e2 in
+          g v1 v2
+      | Prims.F3 g, Tast.TEtuple [ e1; e2; e3 ] ->
+          let v1 = eval_exp env e1 in
+          let v2 = eval_exp env e2 in
+          let v3 = eval_exp env e3 in
+          g v1 v2 v3
+      | _, _ ->
+          tick 2;
+          as_fun (eval_exp env { e with Tast.tdesc = Tast.TEvar (x, []) }) (eval_exp env a)
+    end
+  | Tast.TEapp (f, a) ->
+      tick 2;
+      let fv = eval_exp env f in
+      let av = eval_exp env a in
+      as_fun fv av
+  | Tast.TEif (c, t, f) ->
+      tick 1;
+      if as_bool (eval_exp env c) then eval_exp env t else eval_exp env f
+  | Tast.TEcase (scrut, arms) -> begin
+      tick 1;
+      let v = eval_exp env scrut in
+      let rec try_arms = function
+        | [] -> raise (Match_failure_dml (Value.to_string v))
+        | (p, body) :: rest -> (
+            match match_pat v p [] with
+            | Some bindings -> eval_exp (bind_all env bindings) body
+            | None -> try_arms rest)
+      in
+      try_arms arms
+    end
+  | Tast.TEfn (p, body) ->
+      tick 3;
+      Vfun
+        (fun v ->
+          match match_pat v p [] with
+          | Some bindings -> eval_exp (bind_all env bindings) body
+          | None -> raise (Match_failure_dml (Value.to_string v)))
+  | Tast.TElet (decs, body) ->
+      let env = List.fold_left eval_dec env decs in
+      eval_exp env body
+  | Tast.TEandalso (a, b) ->
+      tick 1;
+      if as_bool (eval_exp env a) then eval_exp env b else Vbool false
+  | Tast.TEorelse (a, b) ->
+      tick 1;
+      if as_bool (eval_exp env a) then Vbool true else eval_exp env b
+  | Tast.TEannot (e, _) -> eval_exp env e
+  | Tast.TEraise inner ->
+      tick 2;
+      raise (Dml_exn (eval_exp env inner))
+  | Tast.TEhandle (body, arms) -> (
+      tick 1;
+      try eval_exp env body
+      with e -> (
+        match Value.exn_value_of e with
+        | None -> raise e
+        | Some v ->
+            let rec try_arms = function
+              | [] -> raise e
+              | (p, arm) :: rest -> (
+                  match match_pat v p [] with
+                  | Some bindings -> eval_exp (bind_all env bindings) arm
+                  | None -> try_arms rest)
+            in
+            try_arms arms))
+
+and eval_dec env (d : Tast.tdec) : env =
+  match d with
+  | Tast.TDexception _ -> env
+  | Tast.TDval (p, e, _, _) -> begin
+      let v = eval_exp env e in
+      match match_pat v p [] with
+      | Some bindings -> bind_all env bindings
+      | None -> raise (Match_failure_dml (Value.to_string v))
+    end
+  | Tast.TDfun fds ->
+      let env_ref = ref env in
+      let make_function (fd : Tast.tfundef) =
+        let arity = match fd.Tast.tfclauses with (ps, _) :: _ -> List.length ps | [] -> 0 in
+        let apply args =
+          let env = !env_ref in
+          let rec try_clauses = function
+            | [] -> raise (Match_failure_dml fd.Tast.tfname)
+            | (pats, body) :: rest -> (
+                let rec bind_args pats args bindings =
+                  match (pats, args) with
+                  | [], [] -> Some bindings
+                  | p :: pats, v :: args -> (
+                      match match_pat v p bindings with
+                      | Some b -> bind_args pats args b
+                      | None -> None)
+                  | _ -> None
+                in
+                match bind_args pats args [] with
+                | Some bindings -> eval_exp (bind_all env bindings) body
+                | None -> try_clauses rest)
+          in
+          try_clauses fd.Tast.tfclauses
+        in
+        let rec curry collected k =
+          if k = 0 then apply (List.rev collected)
+          else Vfun (fun v -> curry (v :: collected) (k - 1))
+        in
+        curry [] arity
+      in
+      let env' =
+        List.fold_left
+          (fun env fd ->
+            { env with bindings = SMap.add fd.Tast.tfname (make_function fd) env.bindings })
+          env fds
+      in
+      env_ref := env';
+      env'
+
+let run_program env (prog : Tast.tprogram) =
+  List.fold_left
+    (fun env ttop ->
+      match ttop with
+      | Tast.TTdec d -> eval_dec env d
+      | Tast.TTdatatype _ | Tast.TTtyperef _ | Tast.TTassert _ | Tast.TTtypedef _ -> env)
+    env prog

@@ -1,0 +1,31 @@
+(** Cost-model virtual machine — "platform A" for Table 2.
+
+    Wall-clock timing of an interpreter compresses the bounds-check share of
+    the run time (the interpretive machinery around each access costs an
+    order of magnitude more than the access itself, unlike the paper's
+    native compilers where a check is a sizeable fraction of a loop
+    iteration).  This backend therefore *accounts* rather than times: every
+    evaluation step adds its documented virtual-cycle cost — at late-90s
+    RISC granularity — to a counter, and the bounds checks add
+    {!Prims.check_cost}.  Table 2 reports virtual megacycles, in which the
+    structural effect of check elimination appears at the paper's scale.
+
+    The cost model (virtual cycles):
+    - variable access, literal: 1
+    - function call: 2; closure construction: 3
+    - conditional or case dispatch: 1
+    - tuple or constructor allocation: 2 + size
+    - primitive work: see {!Prims.flat_cost} (array access 2, arithmetic 1)
+    - bounds/tag check: 2 ({!Prims.check_cost})
+    - list-cell traversal in [nth]: 2 per step *)
+
+open Dml_mltype
+
+type env
+
+val initial_env : Prims.mode -> Prims.counters -> env
+val run_program : env -> Tast.tprogram -> env
+val lookup : env -> string -> Value.t
+val counters : env -> Prims.counters
+
+exception Match_failure_dml of string

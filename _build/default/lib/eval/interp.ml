@@ -1,0 +1,158 @@
+open Dml_mltype
+open Value
+module SMap = Map.Make (String)
+
+type env = Value.t SMap.t
+
+let initial_env prims = List.fold_left (fun m (x, v) -> SMap.add x v m) SMap.empty prims
+
+exception Match_failure_dml of string
+
+let lookup env x =
+  match SMap.find_opt x env with
+  | Some v -> v
+  | None -> raise (Runtime_error ("unbound variable at run time: " ^ x))
+
+let call f v = as_fun f v
+let call2 f a b = call (call f a) b
+
+(* Match a value against a pattern, extending [bindings]. *)
+let rec match_pat v (p : Tast.tpat) bindings =
+  match (p.Tast.tpdesc, v) with
+  | Tast.TPwild, _ -> Some bindings
+  | Tast.TPvar x, _ -> Some ((x, v) :: bindings)
+  | Tast.TPint n, Vint m -> if n = m then Some bindings else None
+  | Tast.TPbool b, Vbool c -> if b = c then Some bindings else None
+  | Tast.TPchar a, Vchar b -> if a = b then Some bindings else None
+  | Tast.TPstring a, Vstring b -> if a = b then Some bindings else None
+  | Tast.TPtuple ps, Vtuple vs when List.length ps = List.length vs ->
+      let rec go ps vs bindings =
+        match (ps, vs) with
+        | [], [] -> Some bindings
+        | p :: ps, v :: vs -> (
+            match match_pat v p bindings with Some b -> go ps vs b | None -> None)
+        | _ -> None
+      in
+      go ps vs bindings
+  | Tast.TPcon (c, _, None), Vcon (c', None) -> if c = c' then Some bindings else None
+  | Tast.TPcon (c, _, Some arg), Vcon (c', Some v') ->
+      if c = c' then match_pat v' arg bindings else None
+  | _ -> None
+
+let bind_all env bindings = List.fold_left (fun env (x, v) -> SMap.add x v env) env bindings
+
+let rec eval_exp env (e : Tast.texp) : Value.t =
+  match e.Tast.tdesc with
+  | Tast.TEint n -> Vint n
+  | Tast.TEbool b -> Vbool b
+  | Tast.TEchar c -> Vchar c
+  | Tast.TEstring s -> Vstring s
+  | Tast.TEvar (x, _) -> lookup env x
+  | Tast.TEcon (c, _, None) -> begin
+      (* an unapplied unary constructor is a function *)
+      match Mltype.repr e.Tast.tty with
+      | Mltype.Tarrow _ -> Vfun (fun v -> Vcon (c, Some v))
+      | _ -> Vcon (c, None)
+    end
+  | Tast.TEcon (c, _, Some arg) -> Vcon (c, Some (eval_exp env arg))
+  | Tast.TEtuple es -> Vtuple (List.map (eval_exp env) es)
+  | Tast.TEapp (f, a) ->
+      let fv = eval_exp env f in
+      let av = eval_exp env a in
+      call fv av
+  | Tast.TEif (c, t, f) -> if as_bool (eval_exp env c) then eval_exp env t else eval_exp env f
+  | Tast.TEcase (scrut, arms) -> begin
+      let v = eval_exp env scrut in
+      let rec try_arms = function
+        | [] -> raise (Match_failure_dml (Value.to_string v))
+        | (p, body) :: rest -> (
+            match match_pat v p [] with
+            | Some bindings -> eval_exp (bind_all env bindings) body
+            | None -> try_arms rest)
+      in
+      try_arms arms
+    end
+  | Tast.TEfn (p, body) ->
+      Vfun
+        (fun v ->
+          match match_pat v p [] with
+          | Some bindings -> eval_exp (bind_all env bindings) body
+          | None -> raise (Match_failure_dml (Value.to_string v)))
+  | Tast.TElet (decs, body) ->
+      let env = List.fold_left eval_dec env decs in
+      eval_exp env body
+  | Tast.TEandalso (a, b) -> if as_bool (eval_exp env a) then eval_exp env b else Vbool false
+  | Tast.TEorelse (a, b) -> if as_bool (eval_exp env a) then Vbool true else eval_exp env b
+  | Tast.TEannot (e, _) -> eval_exp env e
+  | Tast.TEraise inner -> raise (Dml_exn (eval_exp env inner))
+  | Tast.TEhandle (body, arms) -> (
+      try eval_exp env body
+      with e -> (
+        match Value.exn_value_of e with
+        | None -> raise e
+        | Some v ->
+            let rec try_arms = function
+              | [] -> raise e (* unhandled: re-raise *)
+              | (p, arm) :: rest -> (
+                  match match_pat v p [] with
+                  | Some bindings -> eval_exp (bind_all env bindings) arm
+                  | None -> try_arms rest)
+            in
+            try_arms arms))
+
+and eval_dec env (d : Tast.tdec) : env =
+  match d with
+  | Tast.TDexception _ -> env
+  | Tast.TDval (p, e, _, _) -> begin
+      let v = eval_exp env e in
+      match match_pat v p [] with
+      | Some bindings -> bind_all env bindings
+      | None -> raise (Match_failure_dml (Value.to_string v))
+    end
+  | Tast.TDfun fds ->
+      (* mutual recursion through a shared environment reference *)
+      let env_ref = ref env in
+      let make_function (fd : Tast.tfundef) =
+        let arity = match fd.Tast.tfclauses with (ps, _) :: _ -> List.length ps | [] -> 0 in
+        let apply args =
+          let env = !env_ref in
+          let rec try_clauses = function
+            | [] -> raise (Match_failure_dml fd.Tast.tfname)
+            | (pats, body) :: rest -> (
+                let rec bind_args pats args bindings =
+                  match (pats, args) with
+                  | [], [] -> Some bindings
+                  | p :: pats, v :: args -> (
+                      match match_pat v p bindings with
+                      | Some b -> bind_args pats args b
+                      | None -> None)
+                  | _ -> None
+                in
+                match bind_args pats args [] with
+                | Some bindings -> eval_exp (bind_all env bindings) body
+                | None -> try_clauses rest)
+          in
+          try_clauses fd.Tast.tfclauses
+        in
+        (* curry [arity] arguments *)
+        let rec curry collected k =
+          if k = 0 then apply (List.rev collected)
+          else Vfun (fun v -> curry (v :: collected) (k - 1))
+        in
+        curry [] arity
+      in
+      let env' =
+        List.fold_left
+          (fun env fd -> SMap.add fd.Tast.tfname (make_function fd) env)
+          env fds
+      in
+      env_ref := env';
+      env'
+
+let run_program env (prog : Tast.tprogram) =
+  List.fold_left
+    (fun env ttop ->
+      match ttop with
+      | Tast.TTdec d -> eval_dec env d
+      | Tast.TTdatatype _ | Tast.TTtyperef _ | Tast.TTassert _ | Tast.TTtypedef _ -> env)
+    env prog

@@ -1,0 +1,27 @@
+(** Tree-walking interpreter over the typed AST — the slower of the two
+    evaluation backends ("platform A", standing in for the paper's
+    SML/NJ-on-Alpha measurements in Table 2). *)
+
+open Dml_mltype
+
+module SMap : Map.S with type key = string
+
+type env = Value.t SMap.t
+
+val initial_env : (string * Value.t) list -> env
+(** Environment from a primitive table ({!Prims.table}). *)
+
+exception Match_failure_dml of string
+
+val eval_exp : env -> Tast.texp -> Value.t
+val eval_dec : env -> Tast.tdec -> env
+
+val run_program : env -> Tast.tprogram -> env
+(** Executes every top-level declaration; returns the final environment. *)
+
+val lookup : env -> string -> Value.t
+(** @raise Value.Runtime_error when unbound. *)
+
+val call : Value.t -> Value.t -> Value.t
+val call2 : Value.t -> Value.t -> Value.t -> Value.t
+(** [call2 f a b] is [call (call f a) b] — for curried functions. *)

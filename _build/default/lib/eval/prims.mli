@@ -1,0 +1,58 @@
+(** Primitive implementations for both backends.
+
+    Array and list access comes in two flavours (Section 4): the checked
+    versions test bounds and raise {!Subscript} as Standard ML's safe
+    [sub]/[update] do; the unchecked versions access memory directly, which
+    is only sound for call sites whose obligations elaboration discharged.
+    Compiling a program "without array bound checks" means binding [sub],
+    [update] and [nth] to their unchecked implementations. *)
+
+type mode =
+  | Checked  (** all accesses bounds-checked (the paper's baseline columns) *)
+  | Unchecked  (** proved accesses unchecked (the paper's optimised columns) *)
+
+type counters = {
+  mutable dynamic_checks : int;  (** bound/tag checks actually executed *)
+  mutable eliminated_checks : int;  (** accesses performed without a check *)
+  mutable cycles : int;  (** virtual cycles (cost-model backend only) *)
+}
+
+val new_counters : unit -> counters
+
+exception Subscript
+(** Raised by a failing run-time bound/tag check (the same exception as
+    {!Value.Subscript}, re-exported). *)
+
+(** Uncurried primitive implementations.  The closure-compiling backend calls
+    these directly when a primitive is applied to a literal tuple, passing
+    arguments without allocating the tuple — the calling convention a real
+    compiler would use. *)
+type fast =
+  | F1 of (Value.t -> Value.t)
+  | F2 of (Value.t -> Value.t -> Value.t)
+  | F3 of (Value.t -> Value.t -> Value.t -> Value.t)
+
+val fast_table : mode -> ?counters:counters -> unit -> (string * fast) list
+
+val value_of_fast : fast -> Value.t
+
+val flat_cost : string -> int
+(** Virtual-cycle cost of a primitive's own work in the cost model. *)
+
+val with_cost : counters -> int -> fast -> fast
+(** Wrap a primitive so each invocation adds the given virtual-cycle cost. *)
+
+val table : mode -> ?counters:counters -> unit -> (string * Value.t) list
+(** The primitives as ordinary curried-on-tuples values (derived from
+    {!fast_table}).  When [counters] is given every access also bumps the
+    corresponding counter (used for the "checks eliminated" columns of
+    Tables 2 and 3; timing runs omit it). *)
+
+val costed_table : mode -> counters -> unit -> (string * Value.t) list
+(** Like {!table} with [counters], and additionally accumulates each
+    primitive's virtual-cycle cost into [counters.cycles] — used by the
+    cost-model backend ({!Cycles}). *)
+
+val check_cost : int
+(** Virtual cycles per executed bounds/tag check (the documented cost
+    model's central constant). *)

@@ -1,0 +1,96 @@
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vchar of char
+  | Vstring of string
+  | Vtuple of t list
+  | Varray of t array
+  | Vcon of string * t option
+  | Vfun of (t -> t)
+  | Vref of t ref
+
+exception Runtime_error of string
+
+exception Dml_exn of t
+(* a raised surface-language exception value (a [Vcon]) *)
+
+exception Subscript
+(* a failed run-time bound/tag check (defined here so [handle] can observe
+   it; re-exported by Prims) *)
+
+let err fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+let as_int = function Vint n -> n | v -> err "expected an integer, got %s" (match v with Vbool _ -> "a boolean" | _ -> "a non-integer")
+let as_bool = function Vbool b -> b | _ -> err "expected a boolean"
+let as_char = function Vchar c -> c | _ -> err "expected a character"
+let as_string = function Vstring s -> s | _ -> err "expected a string"
+let as_array = function Varray a -> a | _ -> err "expected an array"
+let as_fun = function Vfun f -> f | _ -> err "expected a function"
+
+let unit_v = Vtuple []
+
+let of_int_list l =
+  List.fold_right (fun x acc -> Vcon ("::", Some (Vtuple [ Vint x; acc ]))) l (Vcon ("nil", None))
+
+let rec to_int_list = function
+  | Vcon ("nil", None) -> []
+  | Vcon ("::", Some (Vtuple [ Vint x; rest ])) -> x :: to_int_list rest
+  | _ -> err "expected an int list"
+
+let of_int_array a = Varray (Array.map (fun x -> Vint x) a)
+
+let to_int_array v =
+  match v with Varray a -> Array.map as_int a | _ -> err "expected an array"
+
+let rec equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vchar x, Vchar y -> x = y
+  | Vstring x, Vstring y -> x = y
+  | Vtuple xs, Vtuple ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Varray xs, Varray ys ->
+      Array.length xs = Array.length ys
+      && (let ok = ref true in
+          Array.iteri (fun i x -> if not (equal x ys.(i)) then ok := false) xs;
+          !ok)
+  | Vcon (c1, a1), Vcon (c2, a2) -> (
+      c1 = c2 && match (a1, a2) with
+      | None, None -> true
+      | Some x, Some y -> equal x y
+      | _ -> false)
+  | Vfun _, Vfun _ -> false
+  | Vref a, Vref b -> equal !a !b
+  | (Vint _ | Vbool _ | Vchar _ | Vstring _ | Vtuple _ | Varray _ | Vcon _ | Vfun _ | Vref _), _
+    ->
+      false
+
+let rec pp fmt = function
+  | Vint n -> Format.fprintf fmt "%d" n
+  | Vbool b -> Format.pp_print_bool fmt b
+  | Vchar c -> Format.fprintf fmt "#%C" c
+  | Vstring s -> Format.fprintf fmt "%S" s
+  | Vtuple [] -> Format.pp_print_string fmt "()"
+  | Vtuple vs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp)
+        vs
+  | Varray a ->
+      Format.fprintf fmt "[|%a|]"
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ") pp)
+        (Array.to_list a)
+  | Vcon (c, None) -> Format.pp_print_string fmt c
+  | Vcon ("::", Some (Vtuple [ h; t ])) -> Format.fprintf fmt "%a :: %a" pp h pp t
+  | Vcon (c, Some v) -> Format.fprintf fmt "%s %a" c pp v
+  | Vfun _ -> Format.pp_print_string fmt "<fun>"
+  | Vref r -> Format.fprintf fmt "ref %a" pp !r
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* The runtime exceptions a [handle] can observe, as exception values.  The
+   basis declares the corresponding constructors. *)
+let exn_value_of = function
+  | Dml_exn v -> Some v
+  | Subscript -> Some (Vcon ("Subscript", None))
+  | Division_by_zero -> Some (Vcon ("Div", None))
+  | _ -> None

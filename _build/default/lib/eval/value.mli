@@ -1,0 +1,47 @@
+(** Runtime values shared by both evaluation backends. *)
+
+type t =
+  | Vint of int
+  | Vbool of bool
+  | Vchar of char
+  | Vstring of string
+  | Vtuple of t list  (** [Vtuple []] is the unit value *)
+  | Varray of t array
+  | Vcon of string * t option  (** datatype constructor *)
+  | Vfun of (t -> t)
+  | Vref of t ref  (** mutable reference cell *)
+
+exception Runtime_error of string
+
+exception Dml_exn of t
+(** A raised surface-language exception, carrying its [Vcon] value. *)
+
+exception Subscript
+(** A failed run-time bound/tag check (re-exported as {!Prims.Subscript}). *)
+
+val exn_value_of : exn -> t option
+(** The exception value a [handle] observes for an OCaml-level exception:
+    [Dml_exn] unwraps, {!Subscript} and [Division_by_zero] map to the basis
+    constructors, anything else is not observable. *)
+
+val as_int : t -> int
+val as_bool : t -> bool
+val as_char : t -> char
+val as_string : t -> string
+val as_array : t -> t array
+val as_fun : t -> t -> t
+(** @raise Runtime_error when the value has the wrong shape. *)
+
+val unit_v : t
+val of_int_list : int list -> t
+(** Builds a runtime ['a list] value. *)
+
+val to_int_list : t -> int list
+val of_int_array : int array -> t
+val to_int_array : t -> int array
+
+val equal : t -> t -> bool
+(** Structural equality; functions are never equal.  Used by tests. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/index/idx.ml: Format Ivar List Stdlib

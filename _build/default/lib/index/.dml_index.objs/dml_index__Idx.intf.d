@@ -1,0 +1,1 @@
+lib/index/idx.mli: Format Ivar

@@ -1,0 +1,1 @@
+lib/index/ivar.ml: Format Int Map Set

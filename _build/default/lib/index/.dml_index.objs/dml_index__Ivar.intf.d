@@ -1,0 +1,1 @@
+lib/index/ivar.mli: Format Map Set

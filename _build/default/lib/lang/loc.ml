@@ -1,0 +1,17 @@
+type pos = { line : int; col : int }
+
+type t = { start_pos : pos; end_pos : pos }
+
+let dummy = { start_pos = { line = 0; col = 0 }; end_pos = { line = 0; col = 0 } }
+let make start_pos end_pos = { start_pos; end_pos }
+let merge a b = { start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp fmt l =
+  if l.start_pos.line = 0 then Format.pp_print_string fmt "<unknown>"
+  else if l.start_pos.line = l.end_pos.line then
+    Format.fprintf fmt "line %d, characters %d-%d" l.start_pos.line l.start_pos.col l.end_pos.col
+  else
+    Format.fprintf fmt "lines %d.%d-%d.%d" l.start_pos.line l.start_pos.col l.end_pos.line
+      l.end_pos.col
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the surface language.
+
+    The grammar follows the paper's listings: SML-style core expressions and
+    clausal function definitions, extended with [where] type ascriptions,
+    [{a:g | b}]/[[a:g | b]] quantifiers, [typeref] refinement declarations,
+    [assert] signature declarations and [type] abbreviations. *)
+
+exception Error of string * Loc.t
+
+val parse_program : string -> Ast.program
+(** @raise Error on a syntax error.
+    @raise Lexer.Error on a lexical error. *)
+
+val annotation_spans : (int * int) list ref
+(** Line spans (start, end) of the type annotations parsed by the last
+    {!parse_program} call; reproduces Table 1's "annotation lines" metric. *)
+
+val parse_exp : string -> Ast.exp
+(** Parse a single expression (used by tests and the REPL-ish examples). *)
+
+val parse_stype : string -> Ast.stype
+(** Parse a single type expression. *)

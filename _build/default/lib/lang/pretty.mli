@@ -1,0 +1,28 @@
+(** Pretty-printer for the surface language.
+
+    Prints parseable source: for every program [p],
+    [Parser.parse_program (to_string p)] succeeds and yields a structurally
+    equal AST (checked by property tests through {!Equal}). *)
+
+val pp_sindex : Format.formatter -> Ast.sindex -> unit
+val pp_stype : Format.formatter -> Ast.stype -> unit
+val pp_pat : Format.formatter -> Ast.pat -> unit
+val pp_exp : Format.formatter -> Ast.exp -> unit
+val pp_dec : Format.formatter -> Ast.dec -> unit
+val pp_top : Format.formatter -> Ast.top -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val exp_to_string : Ast.exp -> string
+val stype_to_string : Ast.stype -> string
+val program_to_string : Ast.program -> string
+
+(** Structural equality of surface syntax, ignoring locations. *)
+module Equal : sig
+  val sindex : Ast.sindex -> Ast.sindex -> bool
+  val stype : Ast.stype -> Ast.stype -> bool
+  val pat : Ast.pat -> Ast.pat -> bool
+  val exp : Ast.exp -> Ast.exp -> bool
+  val dec : Ast.dec -> Ast.dec -> bool
+  val top : Ast.top -> Ast.top -> bool
+  val program : Ast.program -> Ast.program -> bool
+end

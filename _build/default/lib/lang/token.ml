@@ -1,0 +1,171 @@
+(* Tokens of the surface language.  The concrete syntax follows the paper's
+   listings: SML with [<|] type ascriptions, [{a:g | b}] universal and
+   [[a:g | b]] existential index quantifiers, [typeref] and [assert]
+   declarations, and [where] clauses on function definitions. *)
+
+type t =
+  | INT of int
+  | STRING of string  (* "..." *)
+  | CHAR of char  (* #"c" *)
+  | ID of string  (* identifiers, including constructor names *)
+  | TYVAR of string  (* 'a *)
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | COLON
+  | SEMI
+  | BAR
+  | UNDERSCORE
+  (* operators *)
+  | EQ
+  | DARROW  (* => *)
+  | ARROW  (* -> *)
+  | TRIANGLE  (* <| *)
+  | STAR
+  | PLUS
+  | MINUS
+  | TILDE  (* unary minus / index negation *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | NE  (* <> *)
+  | COLONCOLON
+  | WEDGE  (* /\ *)
+  | VEE  (* \/ *)
+  | BANG  (* ! *)
+  | ASSIGN  (* := *)
+  | CARET  (* ^ *)
+  (* keywords *)
+  | FUN
+  | VAL
+  | LET
+  | IN
+  | END
+  | IF
+  | THEN
+  | ELSE
+  | CASE
+  | OF
+  | FN
+  | DATATYPE
+  | TYPEREF
+  | ASSERT
+  | TYPE
+  | WITH
+  | WHERE
+  | AND
+  | ANDALSO
+  | ORELSE
+  | DIV
+  | MOD
+  | TRUE
+  | FALSE
+  | REC
+  | EXCEPTION
+  | RAISE
+  | HANDLE
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "#%C" c
+  | ID s -> s
+  | TYVAR s -> "'" ^ s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | COLON -> ":"
+  | SEMI -> ";"
+  | BAR -> "|"
+  | UNDERSCORE -> "_"
+  | EQ -> "="
+  | DARROW -> "=>"
+  | ARROW -> "->"
+  | TRIANGLE -> "<|"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | TILDE -> "~"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | NE -> "<>"
+  | COLONCOLON -> "::"
+  | WEDGE -> "/\\"
+  | VEE -> "\\/"
+  | BANG -> "!"
+  | ASSIGN -> ":="
+  | CARET -> "^"
+  | FUN -> "fun"
+  | VAL -> "val"
+  | LET -> "let"
+  | IN -> "in"
+  | END -> "end"
+  | IF -> "if"
+  | THEN -> "then"
+  | ELSE -> "else"
+  | CASE -> "case"
+  | OF -> "of"
+  | FN -> "fn"
+  | DATATYPE -> "datatype"
+  | TYPEREF -> "typeref"
+  | ASSERT -> "assert"
+  | TYPE -> "type"
+  | WITH -> "with"
+  | WHERE -> "where"
+  | AND -> "and"
+  | ANDALSO -> "andalso"
+  | ORELSE -> "orelse"
+  | DIV -> "div"
+  | MOD -> "mod"
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | REC -> "rec"
+  | EXCEPTION -> "exception"
+  | RAISE -> "raise"
+  | HANDLE -> "handle"
+  | EOF -> "<eof>"
+
+let keywords =
+  [
+    ("fun", FUN);
+    ("val", VAL);
+    ("let", LET);
+    ("in", IN);
+    ("end", END);
+    ("if", IF);
+    ("then", THEN);
+    ("else", ELSE);
+    ("case", CASE);
+    ("of", OF);
+    ("fn", FN);
+    ("datatype", DATATYPE);
+    ("typeref", TYPEREF);
+    ("assert", ASSERT);
+    ("type", TYPE);
+    ("with", WITH);
+    ("where", WHERE);
+    ("and", AND);
+    ("andalso", ANDALSO);
+    ("orelse", ORELSE);
+    ("div", DIV);
+    ("mod", MOD);
+    ("true", TRUE);
+    ("false", FALSE);
+    ("rec", REC);
+    ("exception", EXCEPTION);
+    ("raise", RAISE);
+    ("handle", HANDLE);
+  ]

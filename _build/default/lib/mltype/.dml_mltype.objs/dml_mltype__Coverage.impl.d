@@ -1,0 +1,1 @@
+lib/mltype/coverage.ml: Dml_lang List Mltype Option Tast Tyenv

@@ -1,0 +1,1 @@
+lib/mltype/coverage.mli: Tast Tyenv

@@ -1,0 +1,1 @@
+lib/mltype/infer.ml: Ast Coverage Dml_lang Format List Loc Mltype Option Printf Tast Tyenv

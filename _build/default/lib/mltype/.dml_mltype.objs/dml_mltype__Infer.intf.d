@@ -1,0 +1,1 @@
+lib/mltype/infer.mli: Ast Dml_lang Loc Mltype Tast Tyenv

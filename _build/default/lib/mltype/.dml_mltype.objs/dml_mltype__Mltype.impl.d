@@ -1,0 +1,1 @@
+lib/mltype/mltype.ml: Format Hashtbl List Printf String

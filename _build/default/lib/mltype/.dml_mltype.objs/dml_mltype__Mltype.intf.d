@@ -1,0 +1,1 @@
+lib/mltype/mltype.mli: Format

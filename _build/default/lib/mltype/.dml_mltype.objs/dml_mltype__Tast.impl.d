@@ -1,0 +1,1 @@
+lib/mltype/tast.ml: Ast Dml_lang List Loc Mltype Option

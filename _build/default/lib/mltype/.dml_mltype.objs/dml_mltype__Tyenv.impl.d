@@ -1,0 +1,1 @@
+lib/mltype/tyenv.ml: Ast Dml_lang List Map Mltype Option Printf String

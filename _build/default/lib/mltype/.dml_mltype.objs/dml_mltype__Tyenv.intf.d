@@ -1,0 +1,1 @@
+lib/mltype/tyenv.mli: Ast Dml_lang Map Mltype

@@ -1,0 +1,130 @@
+(* Usefulness on pattern matrices (Maranget, "Warnings for pattern
+   matching").  Our pattern language: wildcards/variables, integer and
+   boolean literals, tuples, datatype constructors. *)
+
+(* Head constructors of our patterns. *)
+type head =
+  | Hint of int
+  | Hbool of bool
+  | Hchar of char
+  | Hstring of string
+  | Htuple of int  (* arity *)
+  | Hcon of string * bool  (* name, has argument *)
+
+let wild : Tast.tpat = { Tast.tpdesc = Tast.TPwild; tpty = Mltype.tunit; tploc = Dml_lang.Loc.dummy }
+
+let head_of (p : Tast.tpat) =
+  match p.Tast.tpdesc with
+  | Tast.TPwild | Tast.TPvar _ -> None
+  | Tast.TPint n -> Some (Hint n)
+  | Tast.TPbool b -> Some (Hbool b)
+  | Tast.TPchar ch -> Some (Hchar ch)
+  | Tast.TPstring s -> Some (Hstring s)
+  | Tast.TPtuple ps -> Some (Htuple (List.length ps))
+  | Tast.TPcon (c, _, arg) -> Some (Hcon (c, arg <> None))
+
+let head_arity = function
+  | Hint _ | Hbool _ | Hchar _ | Hstring _ -> 0
+  | Htuple n -> n
+  | Hcon (_, has_arg) -> if has_arg then 1 else 0
+
+let sub_patterns h (p : Tast.tpat) =
+  match (h, p.Tast.tpdesc) with
+  | _, (Tast.TPwild | Tast.TPvar _) -> Some (List.init (head_arity h) (fun _ -> wild))
+  | Hint n, Tast.TPint m -> if n = m then Some [] else None
+  | Hbool b, Tast.TPbool c -> if b = c then Some [] else None
+  | Hchar a, Tast.TPchar b -> if a = b then Some [] else None
+  | Hstring a, Tast.TPstring b -> if a = b then Some [] else None
+  | Htuple _, Tast.TPtuple ps -> Some ps
+  | Hcon (c, _), Tast.TPcon (c', _, arg) ->
+      if c = c' then Some (match arg with None -> [] | Some a -> [ a ]) else None
+  | _ -> None
+
+(* S(c, P): keep rows whose head is compatible with [h], replacing the head
+   column by its sub-patterns. *)
+let specialize h matrix =
+  List.filter_map
+    (fun row ->
+      match row with
+      | [] -> None
+      | p :: rest -> Option.map (fun subs -> subs @ rest) (sub_patterns h p))
+    matrix
+
+(* D(P): rows whose head is a wildcard, head column removed. *)
+let default matrix =
+  List.filter_map
+    (fun row ->
+      match row with
+      | [] -> None
+      | p :: rest -> (
+          match p.Tast.tpdesc with
+          | Tast.TPwild | Tast.TPvar _ -> Some rest
+          | Tast.TPint _ | Tast.TPbool _ | Tast.TPchar _ | Tast.TPstring _ | Tast.TPtuple _
+          | Tast.TPcon _ ->
+              None))
+    matrix
+
+(* The set of head constructors appearing in the first column, and whether
+   it forms a complete signature for the scrutinee type. *)
+let first_column_heads tyenv matrix =
+  let heads =
+    List.filter_map (fun row -> match row with [] -> None | p :: _ -> head_of p) matrix
+  in
+  let heads =
+    List.fold_left (fun acc h -> if List.mem h acc then acc else h :: acc) [] heads
+  in
+  let complete =
+    match heads with
+    | [] -> false
+    | Hint _ :: _ -> false (* integers: never complete *)
+    | Hstring _ :: _ -> false
+    | Hchar _ :: _ -> false (* close enough: 256 chars are never all listed *)
+    | Hbool _ :: _ -> List.mem (Hbool true) heads && List.mem (Hbool false) heads
+    | Htuple _ :: _ -> true (* a tuple pattern is the whole signature *)
+    | Hcon (c, _) :: _ -> (
+        match Tyenv.find_con tyenv c with
+        | None -> false
+        | Some ci when ci.Tyenv.con_tycon = "exn" -> false (* exn is extensible *)
+        | Some ci -> (
+            match Tyenv.find_datatype tyenv ci.Tyenv.con_tycon with
+            | None -> false
+            | Some dt ->
+                List.for_all
+                  (fun con_name ->
+                    List.exists (function Hcon (c', _) -> c' = con_name | _ -> false) heads)
+                  dt.Tyenv.dt_cons))
+  in
+  (heads, complete)
+
+let rec useful tyenv matrix row =
+  match row with
+  | [] -> matrix = [] (* a zero-column row is useful iff the matrix is empty *)
+  | q :: qrest -> (
+      match head_of q with
+      | Some h -> (
+          match sub_patterns h q with
+          | Some subs -> useful tyenv (specialize h matrix) (subs @ qrest)
+          | None -> assert false)
+      | None ->
+          (* wildcard: split on the heads present in the matrix *)
+          let heads, complete = first_column_heads tyenv matrix in
+          if complete then
+            List.exists
+              (fun h ->
+                useful tyenv (specialize h matrix)
+                  (List.init (head_arity h) (fun _ -> wild) @ qrest))
+              heads
+          else useful tyenv (default matrix) qrest)
+
+let check_rows tyenv ~arity matrix =
+  let full_wild = List.init arity (fun _ -> wild) in
+  if useful tyenv matrix full_wild then Error ()
+  else begin
+    let redundant = ref [] in
+    List.iteri
+      (fun i row ->
+        let above = List.filteri (fun j _ -> j < i) matrix in
+        if not (useful tyenv above row) then redundant := i :: !redundant)
+      matrix;
+    Ok (List.rev !redundant)
+  end

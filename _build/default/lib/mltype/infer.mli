@@ -1,0 +1,34 @@
+(** Phase-1 Hindley--Milner inference over the surface AST.
+
+    Ignores index annotations entirely (they are erased), performs ML type
+    inference with let-polymorphism and the value restriction, resolves which
+    names are constructors, and produces a typed AST for the dependent
+    elaborator (phase 2). *)
+
+open Dml_lang
+
+exception Type_error of string * Loc.t
+
+module SMap = Tyenv.SMap
+
+type env = {
+  tyenv : Tyenv.t;
+  vals : Mltype.scheme SMap.t;
+  level : int;
+  warnings : (string * Loc.t) list ref;
+      (** pattern-match exhaustiveness/redundancy warnings, most recent first *)
+}
+
+val initial : Tyenv.t -> (string * Mltype.scheme) list -> env
+
+val infer_exp : env -> Ast.exp -> Tast.texp
+(** @raise Type_error *)
+
+val infer_dec : env -> Ast.dec -> env * Tast.tdec
+
+val infer_program : env -> Ast.program -> env * Tast.tprogram
+(** Processes the whole program; the returned typed AST is fully zonked. *)
+
+val is_syntactic_value : Tyenv.t -> Ast.exp -> bool
+(** The value restriction's notion of non-expansive expression (constructor
+    status decides whether an application is a value). *)

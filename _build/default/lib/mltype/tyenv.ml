@@ -1,0 +1,179 @@
+open Dml_lang
+module SMap = Map.Make (String)
+
+type con_info = {
+  con_name : string;
+  con_tycon : string;
+  con_params : string list;
+  con_arg : Mltype.t option;
+}
+
+type dt_info = { dt_tycon : string; dt_params : string list; dt_cons : string list }
+
+type t = {
+  datatypes : dt_info SMap.t;
+  cons : con_info SMap.t;
+  abbrevs : Ast.stype SMap.t;
+}
+
+exception Error of string
+
+let empty = { datatypes = SMap.empty; cons = SMap.empty; abbrevs = SMap.empty }
+
+(* [exn] is an extensible datatype: exception declarations add constructors
+   to it, and pattern matching on it is never exhaustive. *)
+let builtin =
+  {
+    empty with
+    datatypes =
+      SMap.add "exn" { dt_tycon = "exn"; dt_params = []; dt_cons = [] } empty.datatypes;
+  }
+
+let find_con env c = SMap.find_opt c env.cons
+let find_datatype env d = SMap.find_opt d env.datatypes
+
+let rec erase env (t : Ast.stype) =
+  match t with
+  | Ast.STvar v -> Mltype.Tqvar v
+  | Ast.STtuple ts -> Mltype.Ttuple (List.map (erase env) ts)
+  | Ast.STarrow (a, b) -> Mltype.Tarrow (erase env a, erase env b)
+  | Ast.STpi (_, t) | Ast.STsigma (_, t) -> erase env t
+  | Ast.STcon (args, name, _indices) -> begin
+      let args = List.map (erase env) args in
+      let arity_check expected =
+        if List.length args <> expected then
+          raise
+            (Error
+               (Printf.sprintf "type constructor %s expects %d argument(s), got %d" name expected
+                  (List.length args)))
+      in
+      match name with
+      | "int" | "bool" | "exn" | "string" | "char" ->
+          arity_check 0;
+          Mltype.Tcon (name, [])
+      | "unit" ->
+          arity_check 0;
+          Mltype.Ttuple []
+      | "array" ->
+          arity_check 1;
+          Mltype.Tcon ("array", args)
+      | "ref" ->
+          arity_check 1;
+          Mltype.Tcon ("ref", args)
+      | _ -> (
+          match SMap.find_opt name env.abbrevs with
+          | Some body ->
+              arity_check 0;
+              erase env body
+          | None -> (
+              match SMap.find_opt name env.datatypes with
+              | Some dt ->
+                  arity_check (List.length dt.dt_params);
+                  Mltype.Tcon (name, args)
+              | None -> raise (Error (Printf.sprintf "unknown type constructor %s" name))))
+    end
+
+let add_datatype env (d : Ast.datatype_def) =
+  if SMap.mem d.Ast.dt_name env.datatypes then
+    raise (Error (Printf.sprintf "duplicate datatype %s" d.Ast.dt_name));
+  let dt_info =
+    {
+      dt_tycon = d.Ast.dt_name;
+      dt_params = d.Ast.dt_params;
+      dt_cons = List.map fst d.Ast.dt_cons;
+    }
+  in
+  (* the datatype is in scope in its own constructor arguments (recursion) *)
+  let env' = { env with datatypes = SMap.add d.Ast.dt_name dt_info env.datatypes } in
+  let check_tyvars t =
+    let rec go (t : Mltype.t) =
+      match t with
+      | Mltype.Tqvar v ->
+          if not (List.mem v d.Ast.dt_params) then
+            raise
+              (Error (Printf.sprintf "unbound type variable '%s in datatype %s" v d.Ast.dt_name))
+      | Mltype.Tvar _ -> ()
+      | Mltype.Tcon (_, args) -> List.iter go args
+      | Mltype.Ttuple ts -> List.iter go ts
+      | Mltype.Tarrow (a, b) ->
+          go a;
+          go b
+    in
+    go t
+  in
+  let cons =
+    List.fold_left
+      (fun cons (cname, arg) ->
+        if SMap.mem cname cons then
+          raise (Error (Printf.sprintf "duplicate constructor %s" cname));
+        let con_arg =
+          Option.map
+            (fun st ->
+              let t = erase env' st in
+              check_tyvars t;
+              t)
+            arg
+        in
+        SMap.add cname
+          { con_name = cname; con_tycon = d.Ast.dt_name; con_params = d.Ast.dt_params; con_arg }
+          cons)
+      env.cons d.Ast.dt_cons
+  in
+  { env' with cons }
+
+let add_abbrev env name t =
+  if SMap.mem name env.abbrevs then raise (Error (Printf.sprintf "duplicate type %s" name));
+  { env with abbrevs = SMap.add name t env.abbrevs }
+
+let con_scheme ci =
+  let result = Mltype.Tcon (ci.con_tycon, List.map (fun v -> Mltype.Tqvar v) ci.con_params) in
+  let body =
+    match ci.con_arg with None -> result | Some arg -> Mltype.Tarrow (arg, result)
+  in
+  { Mltype.svars = ci.con_params; sbody = body }
+
+let add_exception env name arg =
+  if SMap.mem name env.cons then raise (Error (Printf.sprintf "duplicate constructor %s" name));
+  let con_arg =
+    Option.map
+      (fun st ->
+        let ty = erase env st in
+        (* exception arguments must be monomorphic *)
+        let rec check (t : Mltype.t) =
+          match t with
+          | Mltype.Tqvar v ->
+              raise (Error (Printf.sprintf "unbound type variable '%s in exception %s" v name))
+          | Mltype.Tvar _ -> ()
+          | Mltype.Tcon (_, args) -> List.iter check args
+          | Mltype.Ttuple ts -> List.iter check ts
+          | Mltype.Tarrow (a, b) ->
+              check a;
+              check b
+        in
+        check ty;
+        ty)
+      arg
+  in
+  let exn_dt =
+    match SMap.find_opt "exn" env.datatypes with
+    | Some dt -> { dt with dt_cons = name :: dt.dt_cons }
+    | None -> { dt_tycon = "exn"; dt_params = []; dt_cons = [ name ] }
+  in
+  {
+    env with
+    datatypes = SMap.add "exn" exn_dt env.datatypes;
+    cons = SMap.add name { con_name = name; con_tycon = "exn"; con_params = []; con_arg } env.cons;
+  }
+
+let add_exception_erased env name con_arg =
+  let exn_dt =
+    match SMap.find_opt "exn" env.datatypes with
+    | Some dt ->
+        if List.mem name dt.dt_cons then dt else { dt with dt_cons = name :: dt.dt_cons }
+    | None -> { dt_tycon = "exn"; dt_params = []; dt_cons = [ name ] }
+  in
+  {
+    env with
+    datatypes = SMap.add "exn" exn_dt env.datatypes;
+    cons = SMap.add name { con_name = name; con_tycon = "exn"; con_params = []; con_arg } env.cons;
+  }

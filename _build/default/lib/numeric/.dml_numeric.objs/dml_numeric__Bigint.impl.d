@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Char Format Int64 List Stdlib String

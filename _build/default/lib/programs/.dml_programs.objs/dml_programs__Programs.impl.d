@@ -1,0 +1,1 @@
+lib/programs/programs.ml: List Sources Workloads

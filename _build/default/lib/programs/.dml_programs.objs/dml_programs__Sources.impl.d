@@ -1,0 +1,1 @@
+lib/programs/sources.ml:

@@ -1,0 +1,1 @@
+lib/programs/stdlib_dml.ml:

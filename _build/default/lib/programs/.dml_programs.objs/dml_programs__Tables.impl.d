@@ -1,0 +1,1 @@
+lib/programs/tables.ml: Compile Cycles Dml_core Dml_eval Format Gc List Pipeline Prims Programs Stdlib Sys Workloads

@@ -1,0 +1,1 @@
+lib/programs/tables.mli: Dml_solver Format Programs Solver

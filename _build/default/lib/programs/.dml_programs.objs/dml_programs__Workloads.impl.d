@@ -1,0 +1,1 @@
+lib/programs/workloads.ml: Array Dml_eval Format List Value

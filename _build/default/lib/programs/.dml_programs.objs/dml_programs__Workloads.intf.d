@@ -1,0 +1,1 @@
+lib/programs/workloads.mli: Dml_eval

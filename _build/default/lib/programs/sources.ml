@@ -1,0 +1,323 @@
+(* The benchmark programs of Section 4, written in the surface language and
+   annotated in the paper's style.  Notes on deviations:
+
+   - Figure 1's [loop] annotation is tightened with [n <= p] (the connection
+     between the loop bound and the array size), which the elaborator needs
+     and the paper's listing elides; the same idiom (referring to an index
+     variable of an enclosing annotation) appears in the paper's binary
+     search, whose [look] refers to [size].
+   - [bcopy]'s word loop carries the divisibility invariant [mod(i,4) = 0];
+     discharging its bound obligations requires the integral tightening rule
+     of Section 3.2, exactly as the paper describes. *)
+
+(* --- Figure 1 ------------------------------------------------------------ *)
+
+let dotprod =
+  {|
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+  where loop <| {n:nat | n <= p} {i:nat | i <= n} int(i) * int(n) * int -> int
+in
+  loop(0, length v1, 0)
+end
+where dotprod <| {p:nat} {q:nat | p <= q} int array(p) * int array(q) -> int
+|}
+
+(* --- Figure 2 ------------------------------------------------------------ *)
+
+let reverse =
+  {|
+fun reverse(l) = let
+  fun rev(nil, ys) = ys
+    | rev(x::xs, ys) = rev(xs, x::ys)
+  where rev <| {m:nat} {n:nat} 'a list(m) * 'a list(n) -> 'a list(m+n)
+in
+  rev(l, nil)
+end
+where reverse <| {n:nat} 'a list(n) -> 'a list(n)
+|}
+
+(* --- filter (Section 2.4) -------------------------------------------------- *)
+
+let filter =
+  {|
+fun filter p nil = nil
+  | filter p (x::xs) = if p(x) then x :: (filter p xs) else filter p xs
+where filter <| {m:nat} ('a -> bool) -> 'a list(m) -> [n:nat | n <= m] 'a list(n)
+|}
+
+(* --- bcopy (Fox project byte copy; needs integral tightening) -------------- *)
+
+let bcopy =
+  {|
+fun bcopy(src, dst) = let
+  val len = length src
+  fun wordloop(i, limit) =
+    if i < limit then
+      (update(dst, i,   sub(src, i));
+       update(dst, i+1, sub(src, i+1));
+       update(dst, i+2, sub(src, i+2));
+       update(dst, i+3, sub(src, i+3));
+       wordloop(i+4, limit))
+    else ()
+  where wordloop <| {i:nat | mod(i,4) = 0} int(i) * int(n - mod(n,4)) -> unit
+  fun byteloop(i) =
+    if i < len then (update(dst, i, sub(src, i)); byteloop(i+1)) else ()
+  where byteloop <| {i:nat} int(i) -> unit
+in
+  (wordloop(0, len - len mod 4); byteloop(len - len mod 4))
+end
+where bcopy <| {n:nat} {m:nat | n <= m} int array(n) * int array(m) -> unit
+|}
+
+(* --- binary search (Figure 3) ------------------------------------------------ *)
+
+let bsearch =
+  {|
+fun('a){size:nat} bsearch cmp (key, arr) = let
+  fun look(lo, hi) =
+    if hi >= lo then
+      let
+        val m = lo + (hi - lo) div 2
+        val x = sub(arr, m)
+      in
+        case cmp(key, x) of
+          LESS => look(lo, m-1)
+        | EQUAL => SOME(m, x)
+        | GREATER => look(m+1, hi)
+      end
+    else NONE
+  where look <| {l:nat | 0 <= l <= size} {h:int | 0 <= h+1 <= size}
+               int(l) * int(h) -> (int * 'a) option
+in
+  look(0, length arr - 1)
+end
+where bsearch <| ('a * 'a -> order) -> 'a * 'a array(size) -> (int * 'a) option
+
+fun cmpint(a, b) = if a < b then LESS else if a > b then GREATER else EQUAL
+where cmpint <| int * int -> order
+
+fun bsearchInt(key, arr) = bsearch cmpint (key, arr)
+where bsearchInt <| {size:nat} int * int array(size) -> (int * int) option
+|}
+
+(* --- bubble sort --------------------------------------------------------------- *)
+
+let bubblesort =
+  {|
+fun bsort(a) = let
+  fun swap(i, j) = let
+    val t = sub(a, i)
+  in
+    (update(a, i, sub(a, j)); update(a, j, t))
+  end
+  where swap <| {i:nat | i < n} {j:nat | j < n} int(i) * int(j) -> unit
+  fun inner(j, m) =
+    if j + 1 < m then
+      (if sub(a, j) > sub(a, j+1) then swap(j, j+1) else ();
+       inner(j+1, m))
+    else ()
+  where inner <| {m:nat | m <= n} {j:nat} int(j) * int(m) -> unit
+  fun outer(m) =
+    if m > 1 then (inner(0, m); outer(m - 1)) else ()
+  where outer <| {m:nat | m <= n} int(m) -> unit
+in
+  outer(length a)
+end
+where bsort <| {n:nat} int array(n) -> unit
+|}
+
+(* --- matrix multiplication ------------------------------------------------------ *)
+
+let matmult =
+  {|
+fun matmult(a, b, c) = let
+  fun dotloop(i, j, k, acc) =
+    if k < length (sub(a, i)) then
+      dotloop(i, j, k+1, acc + sub(sub(a, i), k) * sub(sub(b, k), j))
+    else acc
+  where dotloop <| {i:nat | i < m} {j:nat | j < p} {k:nat} int(i) * int(j) * int(k) * int -> int
+  fun coloop(i, j) =
+    if j < length (sub(c, i)) then
+      (update(sub(c, i), j, dotloop(i, j, 0, 0)); coloop(i, j+1))
+    else ()
+  where coloop <| {i:nat | i < m} {j:nat} int(i) * int(j) -> unit
+  fun rowloop(i) =
+    if i < length a then (coloop(i, 0); rowloop(i+1)) else ()
+  where rowloop <| {i:nat} int(i) -> unit
+in
+  rowloop(0)
+end
+where matmult <| {m:nat} {n:nat} {p:nat}
+                 int array(n) array(m) * int array(p) array(n) * int array(p) array(m) -> unit
+|}
+
+(* --- n-queens -------------------------------------------------------------------- *)
+
+let queens =
+  {|
+fun queens(size) = let
+  val board = (array(size, 0) : int array(n))
+  fun safe(row, col) = let
+    fun chk(k) =
+      if k < col then
+        (if sub(board, k) = row orelse abs(sub(board, k) - row) = col - k
+         then false
+         else chk(k+1))
+      else true
+    where chk <| {k:nat | k <= col} int(k) -> bool
+  in
+    chk(0)
+  end
+  where safe <| {col:nat | col < n} int * int(col) -> bool
+  fun place(col) =
+    if col >= size then 1
+    else let
+      fun tryrow(row, acc) =
+        if row < size then
+          (if safe(row, col) then
+            (update(board, col, row);
+             tryrow(row+1, acc + place(col+1)))
+           else tryrow(row+1, acc))
+        else acc
+      where tryrow <| {r:nat} int(r) * int -> int
+    in
+      tryrow(0, 0)
+    end
+  where place <| {col:nat | col <= n} int(col) -> int
+in
+  place(0)
+end
+where queens <| {n:nat} int(n) -> int
+|}
+
+(* --- quick sort (Lomuto partition, after the SML/NJ library sort) ----------------- *)
+
+let quicksort =
+  {|
+fun qsort(a) = let
+  fun swap(i, j) = let
+    val t = sub(a, i)
+  in
+    (update(a, i, sub(a, j)); update(a, j, t))
+  end
+  where swap <| {i:nat | i < n} {j:nat | j < n} int(i) * int(j) -> unit
+  fun partition(lo, hi) = let
+    val pivot = sub(a, hi)
+    fun ploop(j, s) =
+      if j < hi then
+        (if sub(a, j) < pivot then (swap(s, j); ploop(j+1, s+1))
+         else ploop(j+1, s))
+      else s
+    where ploop <| {j:nat | lo <= j <= hi} {s:nat | lo <= s <= j}
+                  int(j) * int(s) -> [r:nat | lo <= r <= hi] int(r)
+    val p = ploop(lo, lo)
+  in
+    (swap(p, hi); p)
+  end
+  where partition <| {lo:nat | lo < n} {hi:int | lo <= hi < n}
+                    int(lo) * int(hi) -> [r:nat | lo <= r <= hi] int(r)
+  fun sort(lo, hi) =
+    if lo < hi then
+      let val p = partition(lo, hi) in
+        (sort(lo, p-1); sort(p+1, hi))
+      end
+    else ()
+  where sort <| {lo:nat | lo <= n} {hi:int | 0 <= hi+1 <= n} int(lo) * int(hi) -> unit
+in
+  sort(0, length a - 1)
+end
+where qsort <| {n:nat} int array(n) -> unit
+|}
+
+(* --- towers of hanoi (moves recorded in a circular trace buffer) ------------------- *)
+
+let hanoi =
+  {|
+fun hanoi(trace, heights, disks) = let
+  fun move(count, from, to) =
+    (update(heights, from, sub(heights, from) - 1);
+     update(heights, to, sub(heights, to) + 1);
+     update(trace, count mod 1024, from * 10 + to);
+     count + 1)
+  where move <| {f:nat | f < 3} {t:nat | t < 3} int * int(f) * int(t) -> int
+  fun solve(k, from, to, via, count) =
+    if k = 0 then count
+    else let
+      val c1 = solve(k - 1, from, via, to, count)
+      val c2 = move(c1, from, to)
+    in
+      solve(k - 1, via, to, from, c2)
+    end
+  where solve <| {f:nat | f < 3} {t:nat | t < 3} {v:nat | v < 3}
+                int * int(f) * int(t) * int(v) * int -> int
+in
+  solve(disks, 0, 2, 1, 0)
+end
+where hanoi <| int array(1024) * int array(3) * int -> int
+|}
+
+(* --- list access ------------------------------------------------------------------- *)
+
+let listaccess =
+  {|
+fun access16(l) = let
+  fun loop(i, acc) =
+    if i < 16 then loop(i+1, acc + nth(l, i)) else acc
+  where loop <| {i:nat} int(i) * int -> int
+in
+  loop(0, 0)
+end
+where access16 <| {n:nat | n >= 16} int list(n) -> int
+|}
+
+(* --- Knuth--Morris--Pratt string matching (Figure 5) --------------------------------- *)
+
+let kmp =
+  {|
+type intPrefix = [i:int | 0 <= i + 1] int(i)
+
+assert arrayPrefix <| {size:nat} int(size) * intPrefix -> intPrefix array(size)
+and subPrefix <| {size:int, i:int | 0 <= i < size} intPrefix array(size) * int(i) -> intPrefix
+and subPrefixCK <| intPrefix array * int -> intPrefix
+and updatePrefix <| {size:int, i:int | 0 <= i < size}
+                    intPrefix array(size) * int(i) * intPrefix -> unit
+
+fun computePrefix(pat) = let
+  val plen = length pat
+  val prefixArray = arrayPrefix(plen, ~1)
+  fun loop(i, j) =
+    if j >= plen then ()
+    else if i >= 0 andalso sub(pat, j) <> subCK(pat, i + 1) then
+      loop(subPrefixCK(prefixArray, i), j)
+    else if sub(pat, j) = subCK(pat, i + 1) then
+      (updatePrefix(prefixArray, j, i + 1); loop(i + 1, j + 1))
+    else
+      (updatePrefix(prefixArray, j, ~1); loop(~1, j + 1))
+  where loop <| {j:nat} intPrefix * int(j) -> unit
+in
+  (loop(~1, 1); prefixArray)
+end
+where computePrefix <| {p:nat | p > 0} int array(p) -> intPrefix array(p)
+
+fun kmpMatch(str, pat) = let
+  val strLen = length str
+  val patLen = length pat
+  val prefixArray = computePrefix(pat)
+  fun mloop(s, p) =
+    if s < strLen then
+      (if p < patLen then
+        (if sub(str, s) = sub(pat, p) then mloop(s + 1, p + 1)
+         else if p = 0 then mloop(s + 1, p)
+         else mloop(s, subPrefixCK(prefixArray, p - 1) + 1))
+       else s - patLen)
+    else if p = patLen then s - patLen
+    else ~1
+  where mloop <| {s:nat} {p:nat} int(s) * int(p) -> int
+in
+  mloop(0, 0)
+end
+where kmpMatch <| {s:nat} {q:nat | q > 0} int array(s) * int array(q) -> int
+|}

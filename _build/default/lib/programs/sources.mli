@@ -1,0 +1,30 @@
+(** The paper's programs in surface syntax.
+
+    Eight Section 4 benchmarks and four illustrative listings, annotated in
+    the paper's style.  See the implementation header for the documented
+    deviations (Figure 1's elided [n <= p], hanoi's constant trace buffer,
+    KMP's end-of-text arm). *)
+
+val dotprod : string  (** Figure 1 *)
+
+val reverse : string  (** Figure 2 *)
+
+val filter : string  (** Section 2.4's existential example *)
+
+val bcopy : string  (** optimised byte copy; needs the integral tightening rule *)
+
+val bsearch : string  (** Figure 3 plus an integer-comparator wrapper *)
+
+val bubblesort : string
+
+val matmult : string  (** two-dimensional arrays with indexed element types *)
+
+val queens : string
+
+val quicksort : string  (** Lomuto partition with an existential pivot index *)
+
+val hanoi : string  (** moves recorded in pole-height arrays and a trace buffer *)
+
+val listaccess : string  (** [nth] without tag checks *)
+
+val kmp : string  (** Figure 5: intPrefix existentials and residual CK sites *)

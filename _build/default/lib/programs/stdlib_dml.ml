@@ -1,0 +1,136 @@
+(* A small standard library written in the surface language, with full
+   length/bounds invariants.  These go beyond the paper's listings and
+   exercise parts of the system its benchmarks do not:
+
+   - [split]   an existential *pair* of indices ([p:nat, q:nat | p+q=n])
+   - [msort]   recursion through existential openings
+   - [arev]    in-place array reversal whose bounds need div reasoning
+   - [take]/[drop]  subset-sorted second arguments
+   - [merge]/[insert]/[isort]  length arithmetic across clauses *)
+
+let lists =
+  {|
+fun append(nil, ys) = ys
+  | append(x :: xs, ys) = x :: append(xs, ys)
+where append <| {m:nat} {n:nat} 'a list(m) * 'a list(n) -> 'a list(m+n)
+
+fun map f nil = nil
+  | map f (x :: xs) = f(x) :: map f xs
+where map <| {n:nat} ('a -> 'b) -> 'a list(n) -> 'b list(n)
+
+fun zip(nil, nil) = nil
+  | zip(x :: xs, y :: ys) = (x, y) :: zip(xs, ys)
+where zip <| {n:nat} 'a list(n) * 'b list(n) -> ('a * 'b) list(n)
+
+fun unzip(nil) = (nil, nil)
+  | unzip((x, y) :: rest) = let
+      val (xs, ys) = unzip(rest)
+    in
+      (x :: xs, y :: ys)
+    end
+where unzip <| {n:nat} ('a * 'b) list(n) -> 'a list(n) * 'b list(n)
+
+fun take(nil, i) = nil
+  | take(x :: xs, i) = if i = 0 then nil else x :: take(xs, i - 1)
+where take <| {n:nat} {i:nat | i <= n} 'a list(n) * int(i) -> 'a list(i)
+
+fun drop(nil, i) = nil
+  | drop(x :: xs, i) = if i = 0 then x :: xs else drop(xs, i - 1)
+where drop <| {n:nat} {i:nat | i <= n} 'a list(n) * int(i) -> 'a list(n-i)
+
+fun last(x :: nil) = x
+  | last(x :: y :: rest) = last(y :: rest)
+where last <| {n:nat | n > 0} 'a list(n) -> 'a
+
+fun insert(x, nil) = x :: nil
+  | insert(x, y :: ys) = if x <= y then x :: y :: ys else y :: insert(x, ys)
+where insert <| {n:nat} int * int list(n) -> int list(n+1)
+
+fun isort(nil) = nil
+  | isort(x :: xs) = insert(x, isort(xs))
+where isort <| {n:nat} int list(n) -> int list(n)
+
+fun merge(nil, ys) = ys
+  | merge(xs, nil) = xs
+  | merge(x :: xs, y :: ys) =
+      if x <= y then x :: merge(xs, y :: ys) else y :: merge(x :: xs, ys)
+where merge <| {m:nat} {n:nat} int list(m) * int list(n) -> int list(m+n)
+
+fun split(nil) = (nil, nil)
+  | split(x :: nil) = (x :: nil, nil)
+  | split(x :: y :: rest) = let
+      val (a, b) = split(rest)
+    in
+      (x :: a, y :: b)
+    end
+where split <| {n:nat} 'a list(n) -> [p:nat, q:nat | p + q = n] ('a list(p) * 'a list(q))
+
+fun msort(nil) = nil
+  | msort(x :: nil) = x :: nil
+  | msort(x :: y :: rest) = let
+      val (a, b) = split(x :: y :: rest)
+    in
+      merge(msort(a), msort(b))
+    end
+where msort <| {n:nat} int list(n) -> int list(n)
+|}
+
+let arrays =
+  {|
+fun afill(a, x) = let
+  fun loop(i, m) = if i < m then (update(a, i, x); loop(i + 1, m)) else ()
+  where loop <| {i:nat} int(i) * int(n) -> unit
+in
+  loop(0, length a)
+end
+where afill <| {n:nat} int array(n) * int -> unit
+
+fun amap(f, a, b) = let
+  fun loop(i, m) =
+    if i < m then (update(b, i, f(sub(a, i))); loop(i + 1, m)) else ()
+  where loop <| {i:nat} int(i) * int(n) -> unit
+in
+  loop(0, length a)
+end
+where amap <| {n:nat} ('a -> 'b) * 'a array(n) * 'b array(n) -> unit
+
+fun afoldl(f, init, a) = let
+  fun loop(i, m, acc) =
+    if i < m then loop(i + 1, m, f(acc, sub(a, i))) else acc
+  where loop <| {i:nat} int(i) * int(n) * 'b -> 'b
+in
+  loop(0, length a, init)
+end
+where afoldl <| {n:nat} ('b * 'a -> 'b) * 'b * 'a array(n) -> 'b
+
+fun amax(a) = let
+  fun loop(i, m, best) =
+    if i < m then
+      (if sub(a, i) > best then loop(i + 1, m, sub(a, i)) else loop(i + 1, m, best))
+    else best
+  where loop <| {i:nat | i > 0} int(i) * int(n) * int -> int
+in
+  loop(1, length a, sub(a, 0))
+end
+where amax <| {n:nat | n > 0} int array(n) -> int
+
+fun arev(a) = let
+  val half = length a div 2
+  fun loop(i) =
+    if i < half then
+      let
+        val t = sub(a, i)
+      in
+        (update(a, i, sub(a, length a - 1 - i));
+         update(a, length a - 1 - i, t);
+         loop(i + 1))
+      end
+    else ()
+  where loop <| {i:nat} int(i) -> unit
+in
+  loop(0)
+end
+where arev <| {n:nat} int array(n) -> unit
+|}
+
+let source = lists ^ arrays

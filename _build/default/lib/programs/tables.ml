@@ -1,0 +1,173 @@
+open Dml_core
+open Dml_eval
+
+type backend = Cost_model | Compiled
+
+let backend_name = function
+  | Cost_model -> "cost-model VM, virtual Mcycles (platform A, cf. Table 2 SML/NJ on Alpha)"
+  | Compiled -> "compiled closures, wall seconds (platform B, cf. Table 3 MLWorks on SPARC)"
+
+(* --- Table 1 -------------------------------------------------------------- *)
+
+type t1_row = {
+  t1_name : string;
+  t1_constraints : int;
+  t1_gen_s : float;
+  t1_solve_s : float;
+  t1_annotations : int;
+  t1_annotation_lines : int;
+  t1_code_lines : int;
+}
+
+let table1_row ?method_ (b : Programs.benchmark) =
+  match Pipeline.check ?method_ b.Programs.source with
+  | Error f -> Error (Pipeline.failure_to_string f)
+  | Ok r ->
+      if not r.Pipeline.rp_valid then Error (b.Programs.name ^ ": unproven constraints")
+      else
+        Ok
+          {
+            t1_name = b.Programs.name;
+            t1_constraints = r.Pipeline.rp_constraints;
+            t1_gen_s = r.Pipeline.rp_gen_time;
+            t1_solve_s = r.Pipeline.rp_solve_time;
+            t1_annotations = r.Pipeline.rp_annotations;
+            t1_annotation_lines = r.Pipeline.rp_annotation_lines;
+            t1_code_lines = r.Pipeline.rp_code_lines;
+          }
+
+let table1 () = List.map (fun b -> table1_row b) Programs.table_benchmarks
+
+(* --- Tables 2 and 3 --------------------------------------------------------- *)
+
+type t23_row = {
+  t23_name : string;
+  t23_checked_s : float;  (* Mcycles for the cost-model backend *)
+  t23_unchecked_s : float;
+  t23_gain_pct : float;
+  t23_eliminated : int;
+  t23_residual : int;
+}
+
+let exec_compiled mode ?counters tprog : Workloads.exec =
+  let ce = Compile.initial_fast mode ?counters () in
+  let ce = Compile.run_program ce tprog in
+  { Workloads.lookup = Compile.lookup ce }
+
+let exec_cost_model mode counters tprog : Workloads.exec =
+  let env = Cycles.initial_env mode counters in
+  let env = Cycles.run_program env tprog in
+  { Workloads.lookup = Cycles.lookup env }
+
+(* Interleaved paired measurement: the two disciplines are timed
+   alternately and each takes its best of five rounds, so slow drift of the
+   machine state cannot bias one side. *)
+let time_pair f g =
+  let once h =
+    Gc.full_major ();
+    let t0 = Sys.time () in
+    h ();
+    Sys.time () -. t0
+  in
+  let best_f = ref infinity and best_g = ref infinity in
+  for _ = 1 to 5 do
+    best_f := Stdlib.min !best_f (once f);
+    best_g := Stdlib.min !best_g (once g)
+  done;
+  (!best_f, !best_g)
+
+let run_benchmark backend ~scale (b : Programs.benchmark) =
+  match Pipeline.check_valid b.Programs.source with
+  | Error msg -> Error msg
+  | Ok report -> (
+      let tprog = report.Pipeline.rp_tprog in
+      try
+        let checked_s, unchecked_s, eliminated, residual =
+          match backend with
+          | Compiled ->
+              (* timed runs without instrumentation, then a counting run *)
+              let ex_checked = exec_compiled Prims.Checked tprog in
+              let ex_unchecked = exec_compiled Prims.Unchecked tprog in
+              let checked_s, unchecked_s =
+                time_pair
+                  (fun () -> b.Programs.run ex_checked ~scale)
+                  (fun () -> b.Programs.run ex_unchecked ~scale)
+              in
+              let counters = Prims.new_counters () in
+              let ex = exec_compiled Prims.Unchecked ~counters tprog in
+              b.Programs.run ex ~scale;
+              (checked_s, unchecked_s, counters.Prims.eliminated_checks,
+               counters.Prims.dynamic_checks)
+          | Cost_model ->
+              (* account virtual cycles under both disciplines *)
+              let cycles mode =
+                let counters = Prims.new_counters () in
+                let ex = exec_cost_model mode counters tprog in
+                b.Programs.run ex ~scale;
+                counters
+              in
+              let checked = cycles Prims.Checked in
+              let unchecked = cycles Prims.Unchecked in
+              ( float_of_int checked.Prims.cycles /. 1e6,
+                float_of_int unchecked.Prims.cycles /. 1e6,
+                unchecked.Prims.eliminated_checks,
+                unchecked.Prims.dynamic_checks )
+        in
+        let gain =
+          if checked_s > 0. then (checked_s -. unchecked_s) /. checked_s *. 100. else 0.
+        in
+        Ok
+          {
+            t23_name = b.Programs.name;
+            t23_checked_s = checked_s;
+            t23_unchecked_s = unchecked_s;
+            t23_gain_pct = gain;
+            t23_eliminated = eliminated;
+            t23_residual = residual;
+          }
+      with
+      | Workloads.Verification_failure msg -> Error msg
+      | Prims.Subscript -> Error (b.Programs.name ^ ": runtime Subscript"))
+
+let table23 backend ~scale =
+  List.map (run_benchmark backend ~scale) Programs.table_benchmarks
+
+(* --- printing ------------------------------------------------------------------ *)
+
+let print_table1 fmt () =
+  Format.fprintf fmt "Table 1: constraint generation/solution (cf. paper Table 1)@.";
+  Format.fprintf fmt "%-14s %11s %9s %9s %7s %11s %10s@." "program" "constraints" "gen(s)"
+    "solve(s)" "annots" "annot-lines" "code-lines";
+  List.iter
+    (fun row ->
+      match row with
+      | Error msg -> Format.fprintf fmt "ERROR: %s@." msg
+      | Ok r ->
+          Format.fprintf fmt "%-14s %11d %9.4f %9.4f %7d %11d %10d@." r.t1_name r.t1_constraints
+            r.t1_gen_s r.t1_solve_s r.t1_annotations r.t1_annotation_lines r.t1_code_lines)
+    (table1 ())
+
+let print_table23 fmt backend ~scale =
+  Format.fprintf fmt "Table %s: effect of eliminating array bound checks@."
+    (match backend with Cost_model -> "2" | Compiled -> "3");
+  Format.fprintf fmt "backend: %s, scale: %d@." (backend_name backend) scale;
+  let unit = match backend with Cost_model -> "Mcyc" | Compiled -> "s" in
+  Format.fprintf fmt "%-14s %12s %12s %7s %12s %10s@." "program" ("with(" ^ unit ^ ")")
+    ("without(" ^ unit ^ ")") "gain" "eliminated" "residual";
+  List.iter2
+    (fun (b : Programs.benchmark) row ->
+      match row with
+      | Error msg -> Format.fprintf fmt "%-14s ERROR: %s@." b.Programs.name msg
+      | Ok r ->
+          let paper =
+            match backend with
+            | Cost_model -> b.Programs.paper_alpha
+            | Compiled -> b.Programs.paper_sparc
+          in
+          let paper_gain =
+            match paper.Programs.pr_gain with Some g -> " (paper: " ^ g ^ ")" | None -> ""
+          in
+          Format.fprintf fmt "%-14s %12.3f %12.3f %6.1f%% %12d %10d%s@." r.t23_name
+            r.t23_checked_s r.t23_unchecked_s r.t23_gain_pct r.t23_eliminated r.t23_residual
+            paper_gain)
+    Programs.table_benchmarks (table23 backend ~scale)

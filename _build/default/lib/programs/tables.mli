@@ -1,0 +1,49 @@
+(** The experiment harness regenerating the paper's tables.
+
+    Table 1: constraint generation/solving statistics and annotation counts
+    per program.  Tables 2 and 3: run time with and without array bound
+    checks on the two evaluation backends, plus the number of dynamically
+    eliminated checks. *)
+
+open Dml_solver
+
+type backend =
+  | Cost_model
+      (** Table 2 stand-in: virtual-cycle accounting VM ({!Dml_eval.Cycles});
+          "time" columns are virtual megacycles *)
+  | Compiled  (** Table 3 stand-in: compiled closures, wall-clock seconds *)
+
+val backend_name : backend -> string
+
+type t1_row = {
+  t1_name : string;
+  t1_constraints : int;
+  t1_gen_s : float;
+  t1_solve_s : float;
+  t1_annotations : int;
+  t1_annotation_lines : int;
+  t1_code_lines : int;
+}
+
+val table1_row : ?method_:Solver.method_ -> Programs.benchmark -> (t1_row, string) result
+val table1 : unit -> (t1_row, string) result list
+(** One row per Table 1 program, in the paper's order. *)
+
+type t23_row = {
+  t23_name : string;
+  t23_checked_s : float;  (** run time with bound checks (Mcycles for {!Cost_model}) *)
+  t23_unchecked_s : float;  (** run time without *)
+  t23_gain_pct : float;
+  t23_eliminated : int;  (** dynamic checks eliminated in the unchecked run *)
+  t23_residual : int;  (** checks still executed in the unchecked run (CK sites) *)
+}
+
+val run_benchmark :
+  backend -> scale:int -> Programs.benchmark -> (t23_row, string) result
+(** Type checks, evaluates under both primitive modes (timed, then again with
+    counters), verifies results, and reports the row. *)
+
+val table23 : backend -> scale:int -> (t23_row, string) result list
+
+val print_table1 : Format.formatter -> unit -> unit
+val print_table23 : Format.formatter -> backend -> scale:int -> unit

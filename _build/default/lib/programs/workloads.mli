@@ -1,0 +1,24 @@
+(** Workload drivers for the Section 4 experiments.
+
+    Each driver builds deterministic pseudo-random inputs, runs the program
+    through a backend-agnostic executor, and verifies every result against an
+    OCaml reference implementation (a failing run raises
+    {!Verification_failure}).  Sizes are scaled-down versions of the paper's;
+    [scale] multiplies the iteration counts. *)
+
+type exec = { lookup : string -> Dml_eval.Value.t }
+
+exception Verification_failure of string
+
+val run_bcopy : exec -> scale:int -> unit
+val run_bsearch : exec -> scale:int -> unit
+val run_bubblesort : exec -> scale:int -> unit
+val run_matmult : exec -> scale:int -> unit
+val run_queens : exec -> scale:int -> unit
+val run_quicksort : exec -> scale:int -> unit
+val run_hanoi : exec -> scale:int -> unit
+val run_listaccess : exec -> scale:int -> unit
+val run_dotprod : exec -> scale:int -> unit
+val run_reverse : exec -> scale:int -> unit
+val run_filter : exec -> scale:int -> unit
+val run_kmp : exec -> scale:int -> unit

@@ -1,0 +1,1 @@
+lib/solver/dnf.ml: Dml_index Format Idx Ivar List

@@ -1,0 +1,1 @@
+lib/solver/dnf.mli: Dml_index Format Idx Ivar

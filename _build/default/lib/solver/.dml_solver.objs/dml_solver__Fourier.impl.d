@@ -1,0 +1,1 @@
+lib/solver/fourier.ml: Bigint Dml_index Dml_numeric Ivar Linear List Option Seq Stdlib

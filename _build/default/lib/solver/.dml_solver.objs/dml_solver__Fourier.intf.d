@@ -1,0 +1,1 @@
+lib/solver/fourier.mli: Bigint Dml_index Dml_numeric Ivar Linear

@@ -1,0 +1,1 @@
+lib/solver/linear.ml: Bigint Dml_index Dml_numeric Format Idx Ivar Option

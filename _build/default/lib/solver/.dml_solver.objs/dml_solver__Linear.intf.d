@@ -1,0 +1,1 @@
+lib/solver/linear.mli: Bigint Dml_index Dml_numeric Format Idx Ivar

@@ -1,0 +1,1 @@
+lib/solver/purify.ml: Dml_index Format Idx Ivar List

@@ -1,0 +1,1 @@
+lib/solver/purify.mli: Dml_index Idx

@@ -1,0 +1,1 @@
+lib/solver/simplex.ml: Bigint Dml_index Dml_numeric Int Ivar Linear List Map Option Rat

@@ -1,0 +1,1 @@
+lib/solver/simplex.mli: Dml_index Dml_numeric Ivar Linear Rat

@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Bigint Constr Dml_constr Dml_index Dml_numeric Dnf Format Fourier Hashtbl Idx Ivar Linear List Option Purify Simplex String Sys

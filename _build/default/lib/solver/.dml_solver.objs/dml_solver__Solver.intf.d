@@ -1,0 +1,1 @@
+lib/solver/solver.mli: Bigint Constr Dml_constr Dml_index Dml_numeric Format Fourier Idx Ivar Linear

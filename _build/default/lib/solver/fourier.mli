@@ -1,0 +1,33 @@
+(** Fourier--Motzkin variable elimination (Section 3.2).
+
+    The procedure decides unsatisfiability of a conjunction of linear
+    constraints.  It is sound for integers (an [Unsat] answer is definitive)
+    and, with the integral tightening rule enabled, refutes the divisibility
+    style constraints arising from the optimised byte-copy function that pure
+    rational reasoning cannot.  A [Sat] answer means "not refuted": complete
+    over the rationals, conservative over the integers. *)
+
+open Dml_numeric
+open Dml_index
+
+type verdict = Unsat | Sat
+
+type stats = {
+  mutable eliminations : int;  (** variables eliminated *)
+  mutable combinations : int;  (** upper/lower pairs combined *)
+  mutable max_constraints : int;  (** high-water mark of the system size *)
+  mutable max_coeff : Bigint.t;  (** largest absolute coefficient seen *)
+}
+
+val new_stats : unit -> stats
+
+val check : ?stats:stats -> tighten:bool -> Linear.cstr list -> verdict
+(** [check ~tighten cs] eliminates all variables from [cs].  Equalities with
+    a unit-coefficient variable are removed first by Gaussian substitution;
+    the remaining equalities are split into inequality pairs. *)
+
+val rational_model : Linear.cstr list -> Bigint.t Ivar.Map.t option
+(** Best-effort integer assignment satisfying the system, reconstructed by
+    back-substitution through the elimination order; used to produce
+    counterexample hints in error messages.  [None] when the system is unsat
+    or a bound is irrational to invert (never happens after tightening). *)

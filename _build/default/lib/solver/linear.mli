@@ -1,0 +1,55 @@
+(** Linear forms and linear constraints over {!Dml_numeric.Bigint}.
+
+    A linear form is [c + sum_i k_i * x_i]; a constraint is a form compared
+    to zero.  The solver keeps every coefficient as a bignum because
+    Fourier--Motzkin combination multiplies coefficient pairs. *)
+
+open Dml_numeric
+open Dml_index
+
+type form = { const : Bigint.t; coeffs : Bigint.t Ivar.Map.t }
+(** Invariant: no coefficient in [coeffs] is zero. *)
+
+val zero : form
+val const : Bigint.t -> form
+val of_int : int -> form
+val var : Ivar.t -> form
+val add : form -> form -> form
+val sub : form -> form -> form
+val neg : form -> form
+val scale : Bigint.t -> form -> form
+val coeff : Ivar.t -> form -> Bigint.t
+val remove : Ivar.t -> form -> form
+val is_const : form -> Bigint.t option
+val vars : form -> Ivar.Set.t
+val equal : form -> form -> bool
+
+val of_iexp : Idx.iexp -> form option
+(** Affine translation; [None] when the expression mentions a non-affine
+    construct ([div], [mod], [min], [max], [abs], [sgn], or a product of two
+    non-constant sub-expressions).  Run {!Purify} first to remove those. *)
+
+val eval : Bigint.t Ivar.Map.t -> form -> Bigint.t
+(** @raise Not_found on an unbound variable. *)
+
+type kind = Le  (** form <= 0 *) | Eq  (** form = 0 *)
+
+type cstr = { kind : kind; form : form }
+
+val cstr_le : form -> cstr
+val cstr_eq : form -> cstr
+val cstr_vars : cstr -> Ivar.Set.t
+
+val normalize : tighten:bool -> cstr -> cstr option
+(** Divides through by the gcd of the variable coefficients.  With
+    [~tighten:true] applies the paper's integral tightening: [k.x <= a]
+    becomes [k/g . x <= floor(a/g)] (Section 3.2).  Returns [None] when the
+    constraint is trivially true (a constant that satisfies its relation);
+    a trivially false constraint is returned unchanged so the caller can
+    detect the contradiction. *)
+
+val is_trivially_false : cstr -> bool
+val is_trivially_true : cstr -> bool
+
+val pp_form : Format.formatter -> form -> unit
+val pp_cstr : Format.formatter -> cstr -> unit

@@ -1,0 +1,19 @@
+(** Removal of non-affine index operators before linearisation.
+
+    [div], [mod], [min], [max], [abs] and [sgn] are replaced by fresh index
+    variables constrained by defining formulas that characterise them exactly
+    (e.g. [q = div(i,k)] for [k > 0] becomes [k*q <= i <= k*q + k-1]).  Each
+    definition is total and functional, so the transformed formula is
+    equisatisfiable with the original.  Products of two non-constant
+    expressions and division by a non-constant remain non-linear and are
+    rejected, as in the paper (Section 3.2). *)
+
+open Dml_index
+
+exception Nonlinear of string
+
+val purify : Idx.bexp -> Idx.bexp
+(** Returns the conjunction of the rewritten formula and the definitions of
+    every fresh variable introduced.  Syntactically equal non-affine
+    sub-expressions share a single fresh variable.
+    @raise Nonlinear on inherently non-linear constructs. *)

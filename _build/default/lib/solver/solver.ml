@@ -1,0 +1,121 @@
+open Dml_numeric
+open Dml_index
+open Dml_constr
+
+type method_ = Fm_tightened | Fm_plain | Simplex_rational
+
+type verdict = Valid | Not_valid of string | Unsupported of string
+
+type stats = {
+  mutable checked_goals : int;
+  mutable disjuncts : int;
+  mutable fm : Fourier.stats;
+  mutable solve_time : float;
+}
+
+let new_stats () =
+  { checked_goals = 0; disjuncts = 0; fm = Fourier.new_stats (); solve_time = 0. }
+
+let negation_formula (g : Constr.goal) =
+  Idx.band (Idx.conj g.goal_hyps) (Idx.bnot g.goal_concl)
+
+(* Translate one DNF disjunct into a linear system; [None] when the disjunct
+   is unsatisfiable by its boolean literals alone. *)
+let system_of_disjunct literals =
+  let pos = Hashtbl.create 4 and neg = Hashtbl.create 4 in
+  let exception Bool_contradiction in
+  let form_of e =
+    match Linear.of_iexp e with
+    | Some f -> f
+    | None -> raise (Purify.Nonlinear (Idx.iexp_to_string e))
+  in
+  match
+    List.filter_map
+      (fun lit ->
+        match lit with
+        | Dnf.Lle (a, b) -> Some (Linear.cstr_le (Linear.sub (form_of a) (form_of b)))
+        | Dnf.Leq (a, b) -> Some (Linear.cstr_eq (Linear.sub (form_of a) (form_of b)))
+        | Dnf.Lbool (p, v) ->
+            let mine, other = if p then (pos, neg) else (neg, pos) in
+            if Hashtbl.mem other v.Ivar.id then raise Bool_contradiction;
+            Hashtbl.replace mine v.Ivar.id ();
+            None)
+      literals
+  with
+  | cs -> Some cs
+  | exception Bool_contradiction -> None
+
+let disjunct_systems formula =
+  match
+    let purified = Purify.purify formula in
+    let disjuncts = Dnf.dnf purified in
+    List.filter_map system_of_disjunct disjuncts
+  with
+  | systems -> Ok systems
+  | exception Purify.Nonlinear msg -> Error ("non-linear constraint: " ^ msg)
+  | exception Dnf.Too_large -> Error "constraint normal form too large"
+
+let refute ?stats method_ system =
+  let fm_stats = Option.map (fun s -> s.fm) stats in
+  match method_ with
+  | Fm_tightened -> (
+      match Fourier.check ?stats:fm_stats ~tighten:true system with
+      | Fourier.Unsat -> `Refuted
+      | Fourier.Sat -> `Open)
+  | Fm_plain -> (
+      match Fourier.check ?stats:fm_stats ~tighten:false system with
+      | Fourier.Unsat -> `Refuted
+      | Fourier.Sat -> `Open)
+  | Simplex_rational -> (
+      match Simplex.check system with Simplex.Unsat -> `Refuted | Simplex.Sat -> `Open)
+
+let model_to_string model =
+  let parts =
+    Ivar.Map.fold
+      (fun v k acc -> Format.asprintf "%a = %a" Ivar.pp v Bigint.pp k :: acc)
+      model []
+  in
+  String.concat ", " (List.rev parts)
+
+let check_goal ?(method_ = Fm_tightened) ?stats goal =
+  let t0 = Sys.time () in
+  Option.iter (fun s -> s.checked_goals <- s.checked_goals + 1) stats;
+  let result =
+    match disjunct_systems (negation_formula goal) with
+    | Error msg -> Unsupported msg
+    | Ok systems ->
+        Option.iter (fun s -> s.disjuncts <- s.disjuncts + List.length systems) stats;
+        let rec go = function
+          | [] -> Valid
+          | system :: rest -> (
+              match refute ?stats method_ system with
+              | `Refuted -> go rest
+              | `Open ->
+                  let hint =
+                    match Fourier.rational_model system with
+                    | Some model -> "counterexample: " ^ model_to_string model
+                    | None -> "could not refute a disjunct of the negation"
+                  in
+                  Not_valid hint)
+        in
+        go systems
+  in
+  Option.iter (fun s -> s.solve_time <- s.solve_time +. (Sys.time () -. t0)) stats;
+  result
+
+let check_constraint ?method_ ?stats phi =
+  let phi = Constr.eliminate_existentials phi in
+  match Constr.goals phi with
+  | Error msg -> Unsupported msg
+  | Ok goals ->
+      let rec go = function
+        | [] -> Valid
+        | g :: rest -> (
+            match check_goal ?method_ ?stats g with Valid -> go rest | other -> other)
+      in
+      go goals
+
+let pp_verdict fmt = function
+  | Valid -> Format.pp_print_string fmt "valid"
+  | Not_valid hint -> Format.fprintf fmt "NOT valid (%s)" hint
+  | Unsupported msg -> Format.fprintf fmt "unsupported (%s)" msg

@@ -1,0 +1,48 @@
+(** End-to-end decision procedure for elaboration goals.
+
+    A goal [vars; hyps |- concl] is valid iff [hyps /\ ~concl] is
+    unsatisfiable.  The formula is purified ({!Purify}), normalised to DNF
+    ({!Dnf}) and every disjunct is refuted with the selected method. *)
+
+open Dml_numeric
+open Dml_index
+open Dml_constr
+
+type method_ =
+  | Fm_tightened  (** Fourier--Motzkin with integral tightening (the paper's solver) *)
+  | Fm_plain  (** Fourier--Motzkin without tightening (ablation) *)
+  | Simplex_rational  (** rational simplex baseline (ablation) *)
+
+type verdict =
+  | Valid
+  | Not_valid of string
+      (** refutation failed; the payload is a human-readable hint, including a
+          verified counterexample assignment when one was reconstructed *)
+  | Unsupported of string  (** non-linear constraint or DNF blow-up *)
+
+type stats = {
+  mutable checked_goals : int;
+  mutable disjuncts : int;
+  mutable fm : Fourier.stats;
+  mutable solve_time : float;  (** CPU seconds spent refuting *)
+}
+
+val new_stats : unit -> stats
+
+val check_goal : ?method_:method_ -> ?stats:stats -> Constr.goal -> verdict
+
+val check_constraint : ?method_:method_ -> ?stats:stats -> Constr.t -> verdict
+(** Eliminates existentials, extracts goals, and checks them all; the first
+    failing goal decides the verdict. *)
+
+val negation_formula : Constr.goal -> Idx.bexp
+(** [hyps /\ ~concl], exposed for tests and the [constraints] CLI command. *)
+
+val disjunct_systems : Idx.bexp -> (Linear.cstr list list, string) result
+(** Purify + DNF + literal translation, exposed for tests.  Each inner list
+    is one disjunct's linear system (boolean-contradictory disjuncts are
+    dropped). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val model_to_string : Bigint.t Ivar.Map.t -> string

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Dml_numeric Int List Printf QCheck QCheck_alcotest Stdlib

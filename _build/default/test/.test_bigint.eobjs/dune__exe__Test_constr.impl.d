@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Constr Dml_constr Dml_index Dml_solver Idx Ivar List

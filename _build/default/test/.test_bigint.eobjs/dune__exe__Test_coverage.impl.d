@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Dml_core Dml_programs List Pipeline String

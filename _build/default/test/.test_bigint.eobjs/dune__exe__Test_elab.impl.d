@@ -1,0 +1,1 @@
+test/test_elab.ml: Alcotest Dml_core Pipeline

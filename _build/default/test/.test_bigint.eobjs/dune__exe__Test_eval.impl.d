@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Compile Dml_core Dml_eval Dml_mltype Interp List Pipeline Prims Printf Value

@@ -1,0 +1,1 @@
+test/test_exceptions.ml: Alcotest Compile Cycles Dml_core Dml_eval Dml_mltype Interp List Pipeline Prims Printf String Value

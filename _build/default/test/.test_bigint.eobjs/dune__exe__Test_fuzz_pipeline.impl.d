@@ -1,0 +1,1 @@
+test/test_fuzz_pipeline.ml: Alcotest Array Dml_core Dml_eval Pipeline Printf QCheck QCheck_alcotest

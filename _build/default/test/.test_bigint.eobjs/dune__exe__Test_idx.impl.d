@@ -1,0 +1,1 @@
+test/test_idx.ml: Alcotest Dml_index Idx Ivar List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Dml_lang Lexer List Loc Parser Printf String Token

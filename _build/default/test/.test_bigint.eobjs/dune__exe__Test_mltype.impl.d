@@ -1,0 +1,1 @@
+test/test_mltype.ml: Alcotest Dml_lang Dml_mltype Format Infer List Mltype Parser Printf Tast Tyenv

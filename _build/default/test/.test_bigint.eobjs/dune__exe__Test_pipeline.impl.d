@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Compile Diagnose Dml_core Dml_eval Dml_programs Dml_solver List Pipeline Prims Solver String Value

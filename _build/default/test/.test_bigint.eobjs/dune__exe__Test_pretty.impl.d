@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Dml_core Dml_lang Dml_programs Lexer List Loc Parser Pretty QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Compile Cycles Dml_core Dml_eval Dml_programs Interp List Option Pipeline Prims

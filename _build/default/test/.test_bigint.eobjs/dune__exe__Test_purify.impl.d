@@ -1,0 +1,1 @@
+test/test_purify.ml: Alcotest Dml_index Dml_solver Dnf Fourier Fun Idx Ivar Linear List Purify

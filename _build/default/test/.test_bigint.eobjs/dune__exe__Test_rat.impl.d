@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Dml_numeric QCheck QCheck_alcotest

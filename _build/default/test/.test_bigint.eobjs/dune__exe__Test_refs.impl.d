@@ -1,0 +1,1 @@
+test/test_refs.ml: Alcotest Compile Dml_core Dml_eval Interp Pipeline Prims Value

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Constr Dml_constr Dml_index Dml_numeric Dml_solver Fourier Idx Ivar Linear List Printf QCheck QCheck_alcotest Simplex Solver Stdlib String

@@ -1,0 +1,1 @@
+test/test_stdlib.ml: Alcotest Array Compile Dml_core Dml_eval Dml_programs Lazy List Pipeline Prims Printf Value

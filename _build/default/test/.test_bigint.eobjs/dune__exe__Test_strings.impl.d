@@ -1,0 +1,1 @@
+test/test_strings.ml: Alcotest Compile Dml_core Dml_eval Pipeline Prims Value

@@ -1,0 +1,165 @@
+(* Pattern-match exhaustiveness and redundancy warnings (phase 1). *)
+
+open Dml_core
+
+let warnings_of src =
+  match Pipeline.check src with
+  | Ok r -> List.map fst r.Pipeline.rp_warnings
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Pipeline.failure_to_string f)
+
+let has_warning warnings fragment =
+  List.exists
+    (fun w ->
+      let rec contains i =
+        i + String.length fragment <= String.length w
+        && (String.sub w i (String.length fragment) = fragment || contains (i + 1))
+      in
+      contains 0)
+    warnings
+
+let check_warn name src fragment =
+  let ws = warnings_of src in
+  if not (has_warning ws fragment) then
+    Alcotest.failf "%s: expected a warning containing %S, got [%s]" name fragment
+      (String.concat "; " ws)
+
+let check_clean name src =
+  match warnings_of src with
+  | [] -> ()
+  | ws -> Alcotest.failf "%s: unexpected warnings: %s" name (String.concat "; " ws)
+
+let test_nonexhaustive () =
+  check_warn "missing nil" {|
+fun head(x :: _) = x
+|} "not exhaustive";
+  check_warn "missing cons" {|
+fun isNil(nil) = true
+|} "not exhaustive";
+  check_warn "int patterns never complete"
+    {|
+fun f(0) = 1
+  | f(1) = 2
+|} "not exhaustive";
+  check_warn "missing bool case" {|
+val f = fn true => 1
+|} "not exhaustive";
+  check_warn "case expression"
+    {|
+val x = case 1 :: nil of y :: _ => y
+|}
+    "not exhaustive";
+  check_warn "nested: cons of nil"
+    {|
+fun f(x :: nil) = x
+  | f(nil) = 0
+|} "not exhaustive";
+  check_warn "tuple component"
+    {|
+fun f((0, y)) = y
+|} "not exhaustive";
+  check_warn "partial option" {|
+fun get(SOME x) = x
+|} "not exhaustive"
+
+let test_exhaustive () =
+  check_clean "two list cases" {|
+fun len(nil) = 0
+  | len(_ :: xs) = 1 + len(xs)
+|};
+  check_clean "wildcard" {|
+fun f(_) = 1
+|};
+  check_clean "bools" {|
+fun b2i(true) = 1
+  | b2i(false) = 0
+|};
+  check_clean "int with catch-all" {|
+fun f(0) = 1
+  | f(n) = n
+|};
+  check_clean "nested complete"
+    {|
+fun f(nil) = 0
+  | f(x :: nil) = x
+  | f(x :: _ :: _) = x
+|};
+  check_clean "tuple of wildcards" {|
+fun fst((x, _)) = x
+|};
+  check_clean "three constructors"
+    {|
+fun o2i(LESS) = ~1
+  | o2i(EQUAL) = 0
+  | o2i(GREATER) = 1
+|}
+
+let test_redundant () =
+  check_warn "duplicate literal"
+    {|
+fun f(0) = 1
+  | f(0) = 2
+  | f(n) = n
+|} "unused";
+  check_warn "after catch-all"
+    {|
+fun f(n) = n
+  | f(0) = 1
+|} "unused";
+  check_warn "case arm shadowed"
+    {|
+val x = case 1 :: nil of
+  _ => 0
+| nil => 1
+|}
+    "unused";
+  check_clean "no false positives"
+    {|
+fun f(nil) = 0
+  | f(x :: _) = x
+|}
+
+let test_multi_argument_clauses () =
+  check_warn "curried clause matrix"
+    {|
+fun both true true = 1
+  | both false false = 0
+|} "not exhaustive";
+  check_clean "complete curried matrix"
+    {|
+fun both true true = 1
+  | both true false = 2
+  | both false true = 3
+  | both false false = 0
+|}
+
+(* direct checks of the usefulness engine through a realistic program *)
+let test_benchmarks_warning_free () =
+  List.iter
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      (* zip-style functions legitimately warn; the table benchmarks are
+         warning-free *)
+      if b.Dml_programs.Programs.in_tables then
+        match warnings_of b.Dml_programs.Programs.source with
+        | [] -> ()
+        | ws ->
+            Alcotest.failf "%s: unexpected warnings: %s" b.Dml_programs.Programs.name
+              (String.concat "; " ws))
+    Dml_programs.Programs.all
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "exhaustiveness",
+        [
+          Alcotest.test_case "non-exhaustive matches warn" `Quick test_nonexhaustive;
+          Alcotest.test_case "exhaustive matches are clean" `Quick test_exhaustive;
+        ] );
+      ( "redundancy",
+        [ Alcotest.test_case "unused cases warn" `Quick test_redundant ] );
+      ( "matrices",
+        [
+          Alcotest.test_case "multi-argument clauses" `Quick test_multi_argument_clauses;
+          Alcotest.test_case "table benchmarks are warning-free" `Quick
+            test_benchmarks_warning_free;
+        ] );
+    ]

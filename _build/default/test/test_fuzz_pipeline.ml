@@ -1,0 +1,76 @@
+(* End-to-end property: template-generated loop programs with provably safe
+   access patterns must check, and their off-by-one mutants must be
+   rejected.  This fuzzes the whole pipeline (parser, inference,
+   elaboration, solver) on the paper's core scenario. *)
+
+open Dml_core
+
+(* A loop over an array of size [n] with: start [lo >= 0], guard
+   [i < n - slack] (or <=), and accesses at [i + off].  The access is in
+   bounds for all runs iff [off <= slack] (strict guard) or [off < slack]
+   (non-strict), given [lo >= 0]. *)
+type template = { t_lo : int; t_strict : bool; t_slack : int; t_off : int }
+
+let source_of { t_lo; t_strict; t_slack; t_off } =
+  let guard = if t_strict then "<" else "<=" in
+  Printf.sprintf
+    {|
+fun sumall(v) = let
+  fun loop(i, acc) =
+    if i %s length v - %d then loop(i + 1, acc + sub(v, i + %d)) else acc
+  where loop <| {i:nat} int(i) * int -> int
+in
+  loop(%d, 0)
+end
+where sumall <| {n:nat} int array(n) -> int
+|}
+    guard t_slack t_off t_lo
+
+let is_safe { t_lo; t_strict; t_slack; t_off } =
+  (* i ranges over naturals satisfying the guard; the access i + off needs
+     i + off < n.  Worst case: i = n - slack - 1 (strict) or n - slack
+     (non-strict), so safety is off < slack + 1 (strict) / off < slack. *)
+  t_lo >= 0 && (if t_strict then t_off <= t_slack else t_off < t_slack)
+
+let gen_template =
+  QCheck.make
+    ~print:(fun t -> source_of t)
+    QCheck.Gen.(
+      map
+        (fun (lo, strict, slack, off) ->
+          { t_lo = lo; t_strict = strict; t_slack = slack; t_off = off })
+        (quad (int_range 0 3) bool (int_range 0 4) (int_range 0 5)))
+
+let verdict t =
+  match Pipeline.check (source_of t) with
+  | Ok r -> r.Pipeline.rp_valid
+  | Error f -> Alcotest.failf "static failure: %s" (Pipeline.failure_to_string f)
+
+let prop_safety_decides_verdict =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120 ~name:"verdict = arithmetic safety" gen_template (fun t ->
+         verdict t = is_safe t))
+
+(* Safe templates must also run without tripping their checked primitives. *)
+let prop_safe_templates_run =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"safe templates execute" gen_template (fun t ->
+         QCheck.assume (is_safe t);
+         match Pipeline.check_valid (source_of t) with
+         | Error _ -> false
+         | Ok r ->
+             let ce = Dml_eval.Compile.initial_fast Dml_eval.Prims.Checked () in
+             let ce = Dml_eval.Compile.run_program ce r.Pipeline.rp_tprog in
+             let f = Dml_eval.Compile.lookup ce "sumall" in
+             let arr = Dml_eval.Value.of_int_array (Array.init 9 (fun i -> i)) in
+             (match Dml_eval.Value.as_fun f arr with
+             | Dml_eval.Value.Vint _ -> true
+             | _ -> false
+             | exception Dml_eval.Prims.Subscript -> false)))
+
+let () =
+  Alcotest.run "fuzz_pipeline"
+    [
+      ( "templates",
+        [ prop_safety_decides_verdict; prop_safe_templates_run ] );
+    ]

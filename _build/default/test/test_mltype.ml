@@ -1,0 +1,207 @@
+open Dml_lang
+open Dml_mltype
+module M = Mltype
+
+let prelude =
+  {|
+datatype 'a list = nil | :: of 'a * 'a list
+assert sub <| {n:nat} {i:nat | i < n} 'a array(n) * int(i) -> 'a
+and length <| {n:nat} 'a array(n) -> int(n)
+and + <| {m:int} {n:int} int(m) * int(n) -> int(m+n)
+and - <| {m:int} {n:int} int(m) * int(n) -> int(m-n)
+and * <| int * int -> int
+and div <| int * int -> int
+and mod <| int * int -> int
+and = <| int * int -> bool
+and < <| {m:int} {n:int} int(m) * int(n) -> bool(m < n)
+and <= <| {m:int} {n:int} int(m) * int(n) -> bool(m <= n)
+and > <| {m:int} {n:int} int(m) * int(n) -> bool(m > n)
+and >= <| {m:int} {n:int} int(m) * int(n) -> bool(m >= n)
+and <> <| int * int -> bool
+and ~ <| {m:int} int(m) -> int(0-m)
+|}
+
+let setup extra_src =
+  let prog = Parser.parse_program (prelude ^ extra_src) in
+  Infer.infer_program (Infer.initial Tyenv.builtin []) prog
+
+let infer_type src =
+  (* infers the ML scheme of a top-level [val it = ...] *)
+  let env, _ = setup (Printf.sprintf "val it = %s" src) in
+  match Infer.SMap.find_opt "it" env.Infer.vals with
+  | Some s -> s
+  | None -> Alcotest.fail "no binding for it"
+
+let check_type src expected =
+  let s = infer_type src in
+  Alcotest.(check string) src expected (Format.asprintf "%a" M.pp_scheme s)
+
+let check_rejected name src =
+  match setup src with
+  | _ -> Alcotest.failf "%s: expected a type error" name
+  | exception Infer.Type_error _ -> ()
+
+(* --- basic inference ------------------------------------------------------- *)
+
+let test_literals () =
+  check_type "1" "int";
+  check_type "true" "bool";
+  check_type "()" "unit";
+  check_type "(1, true)" "int * bool";
+  check_type "(1, (2, 3))" "int * (int * int)"
+
+let test_functions () =
+  check_type "fn x => x" "forall '_0. '_0 -> '_0";
+  check_type "fn (x, y) => x" "forall '_0 '_1. '_0 * '_1 -> '_0";
+  check_type "fn x => x + 1" "int -> int";
+  check_type "fn f => fn x => f (f x)" "forall '_0. ('_0 -> '_0) -> '_0 -> '_0"
+
+let test_let_polymorphism () =
+  check_type "let val id = fn x => x in (id 1, id true) end" "int * bool";
+  check_type "let fun id x = x in (id 1, id true) end" "int * bool"
+
+let test_value_restriction () =
+  (* (fn x => x) (fn x => x) is expansive: must not generalise *)
+  check_rejected "value restriction"
+    "val f = (fn x => x) (fn y => y)\nval a = f 1\nval b = f true"
+
+let test_datatypes () =
+  check_type "1 :: 2 :: nil" "int list";
+  check_type "nil" "forall '_0. '_0 list";
+  check_type "fn x => x :: nil" "forall '_0. '_0 -> '_0 list";
+  check_type "case 1 :: nil of nil => 0 | x :: _ => x" "int"
+
+let test_recursion () =
+  let _, tprog =
+    setup
+      {|
+fun len nil = 0
+  | len (_ :: xs) = 1 + len xs
+|}
+  in
+  match List.rev tprog with
+  | Tast.TTdec (Tast.TDfun [ fd ]) :: _ ->
+      Alcotest.(check string) "len scheme" "forall '_0. '_0 list -> int"
+        (Format.asprintf "%a" M.pp_scheme fd.Tast.tfscheme)
+  | _ -> Alcotest.fail "expected len definition"
+
+let test_mutual_recursion () =
+  let env, _ =
+    setup
+      {|
+fun even n = if n = 0 then true else odd (n - 1)
+and odd n = if n = 0 then false else even (n - 1)
+|}
+  in
+  let scheme name =
+    Format.asprintf "%a" M.pp_scheme (Infer.SMap.find name env.Infer.vals)
+  in
+  Alcotest.(check string) "even" "int -> bool" (scheme "even");
+  Alcotest.(check string) "odd" "int -> bool" (scheme "odd")
+
+let test_annotations_checked () =
+  (* the where clause's erasure constrains inference *)
+  let env, _ = setup {|
+fun f x = x
+where f <| {n:nat} int(n) -> int(n)
+|} in
+  Alcotest.(check string) "f" "int -> int"
+    (Format.asprintf "%a" M.pp_scheme (Infer.SMap.find "f" env.Infer.vals))
+
+let test_rejections () =
+  check_rejected "if branches disagree" "val x = if true then 1 else false";
+  check_rejected "condition not bool" "val x = if 1 then 2 else 3";
+  check_rejected "apply non-function" "val x = 1 2";
+  check_rejected "unbound variable" "val x = mystery";
+  check_rejected "unbound constructor in pattern" "val f = fn (Kaboom x) => 1";
+  check_rejected "occurs check" "fun f x = f";
+  check_rejected "arity of clauses" "fun f x = 1 | f x y = 2";
+  check_rejected "duplicate pattern variable" "val f = fn (x, x) => x";
+  check_rejected "tuple arity" "val (a, b) = (1, 2, 3)";
+  check_rejected "andalso non-bool" "val x = 1 andalso true"
+
+let test_datatype_errors () =
+  check_rejected "duplicate datatype" "datatype t = A datatype t = B";
+  check_rejected "unbound tyvar in datatype" "datatype t = A of 'a";
+  check_rejected "typeref wrong datatype" "typeref mystery of nat with nil <| int";
+  check_rejected "typeref erasure mismatch"
+    "datatype t = A of int typeref t of nat with A <| {n:nat} bool -> t(n)"
+
+let test_paper_programs_phase1 () =
+  (* Figure 1 and Figure 2 pass phase 1 *)
+  let dotprod =
+    {|
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+  where loop <| {n:nat} {i:nat | i <= n} int(i) * int(n) * int -> int
+in
+  loop(0, length v1, 0)
+end
+where dotprod <| {p:nat} {q:nat | p <= q} int array(p) * int array(q) -> int
+|}
+  in
+  let env, _ = setup dotprod in
+  Alcotest.(check string) "dotprod" "int array * int array -> int"
+    (Format.asprintf "%a" M.pp_scheme (Infer.SMap.find "dotprod" env.Infer.vals));
+  let reverse =
+    {|
+fun reverse(l) = let
+  fun rev(nil, ys) = ys
+    | rev(x::xs, ys) = rev(xs, x::ys)
+  where rev <| {m:nat} {n:nat} 'a list(m) * 'a list(n) -> 'a list(m+n)
+in
+  rev(l, nil)
+end
+where reverse <| {n:nat} 'a list(n) -> 'a list(n)
+|}
+  in
+  let env, _ = setup reverse in
+  Alcotest.(check string) "reverse" "forall 'a. 'a list -> 'a list"
+    (Format.asprintf "%a" M.pp_scheme (Infer.SMap.find "reverse" env.Infer.vals))
+
+(* --- unification internals --------------------------------------------------- *)
+
+let test_unify_levels () =
+  (* unifying a deep variable with a shallow one must lower its level so it
+     is not generalised past its binder *)
+  let outer = M.fresh_var ~level:1 in
+  let inner = M.fresh_var ~level:5 in
+  M.unify outer inner;
+  let s = M.generalize ~level:1 (M.Tarrow (inner, inner)) in
+  Alcotest.(check int) "not generalised" 0 (List.length s.M.svars)
+
+let test_occurs () =
+  let v = M.fresh_var ~level:1 in
+  match M.unify v (M.Tarrow (v, M.tint)) with
+  | () -> Alcotest.fail "expected occurs-check failure"
+  | exception M.Unify_error _ -> ()
+
+let () =
+  Alcotest.run "mltype"
+    [
+      ( "inference",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "let polymorphism" `Quick test_let_polymorphism;
+          Alcotest.test_case "value restriction" `Quick test_value_restriction;
+          Alcotest.test_case "datatypes" `Quick test_datatypes;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "annotations" `Quick test_annotations_checked;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "ill-typed programs" `Quick test_rejections;
+          Alcotest.test_case "datatype errors" `Quick test_datatype_errors;
+        ] );
+      ( "paper programs",
+        [ Alcotest.test_case "figures 1-2 phase 1" `Quick test_paper_programs_phase1 ] );
+      ( "internals",
+        [
+          Alcotest.test_case "level adjustment" `Quick test_unify_levels;
+          Alcotest.test_case "occurs check" `Quick test_occurs;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Pipeline-level behaviour: failure stages, metrics, solver selection,
+   conservativity over plain ML, and diagnostics rendering. *)
+
+open Dml_core
+open Dml_solver
+open Dml_eval
+
+let check src = Pipeline.check src
+
+let stage src =
+  match check src with
+  | Error f -> Some f.Pipeline.f_stage
+  | Ok _ -> None
+
+let test_failure_stages () =
+  Alcotest.(check bool) "lex" true (stage "val x = $" = Some `Lex);
+  Alcotest.(check bool) "parse" true (stage "val x = " = Some `Parse);
+  Alcotest.(check bool) "mltype" true (stage "val x = 1 + true" = Some `Mltype);
+  Alcotest.(check bool) "elab" true
+    (stage "fun f(x) = x where f <| int(zz) -> int" = Some `Elab);
+  Alcotest.(check bool) "well-typed" true (stage "val x = 1 + 1" = None)
+
+let test_metrics () =
+  match check Dml_programs.Sources.bsearch with
+  | Error f -> Alcotest.failf "bsearch: %s" (Pipeline.failure_to_string f)
+  | Ok r ->
+      Alcotest.(check bool) "constraints counted" true (r.Pipeline.rp_constraints >= 5);
+      Alcotest.(check bool) "annotations counted" true (r.Pipeline.rp_annotations >= 3);
+      Alcotest.(check bool) "annotation lines counted" true
+        (r.Pipeline.rp_annotation_lines >= r.Pipeline.rp_annotations - 1);
+      Alcotest.(check bool) "code lines counted" true (r.Pipeline.rp_code_lines >= 20);
+      Alcotest.(check bool) "times non-negative" true
+        (r.Pipeline.rp_gen_time >= 0. && r.Pipeline.rp_solve_time >= 0.)
+
+let test_solver_selection () =
+  (* bcopy is provable only with the integral tightening rule *)
+  let valid method_ =
+    match Pipeline.check ~method_ Dml_programs.Sources.bcopy with
+    | Ok r -> r.Pipeline.rp_valid
+    | Error f -> Alcotest.failf "bcopy: %s" (Pipeline.failure_to_string f)
+  in
+  Alcotest.(check bool) "tightened proves bcopy" true (valid Solver.Fm_tightened);
+  Alcotest.(check bool) "plain FM does not" false (valid Solver.Fm_plain);
+  Alcotest.(check bool) "simplex does not" false (valid Solver.Simplex_rational);
+  (* binary search is provable by all three (its goals are rational) *)
+  let bsearch_valid method_ =
+    match Pipeline.check ~method_ Dml_programs.Sources.bsearch with
+    | Ok r -> r.Pipeline.rp_valid
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "bsearch fm" true (bsearch_valid Solver.Fm_tightened);
+  Alcotest.(check bool) "bsearch simplex" true (bsearch_valid Solver.Simplex_rational)
+
+(* Conservativity: a program whose annotations are stripped evaluates to the
+   same results (Section 1: programs "will elaborate and evaluate exactly as
+   in ML"). *)
+let test_conservativity () =
+  let annotated =
+    {|
+fun sumto(n) = let
+  fun loop(i, acc) = if i > n then acc else loop(i+1, acc + i)
+  where loop <| int * int -> int
+in loop(0, 0) end
+where sumto <| int -> int
+val r = sumto(100)
+|}
+  in
+  let plain =
+    {|
+fun sumto(n) = let
+  fun loop(i, acc) = if i > n then acc else loop(i+1, acc + i)
+in loop(0, 0) end
+val r = sumto(100)
+|}
+  in
+  let eval src =
+    match Pipeline.check_valid src with
+    | Error msg -> Alcotest.fail msg
+    | Ok r ->
+        let ce = Compile.initial_fast Prims.Checked () in
+        let ce = Compile.run_program ce r.Pipeline.rp_tprog in
+        Compile.lookup ce "r"
+  in
+  Alcotest.(check bool) "same result" true (Value.equal (eval annotated) (eval plain));
+  Alcotest.(check bool) "5050" true (Value.equal (eval plain) (Value.Vint 5050))
+
+let test_diagnose_excerpt () =
+  let src = {|
+val a = array(3, 0)
+val x = sub(a, 5)
+|} in
+  match check src with
+  | Error f -> Alcotest.failf "unexpected failure: %s" (Pipeline.failure_to_string f)
+  | Ok r ->
+      Alcotest.(check bool) "invalid" false r.Pipeline.rp_valid;
+      let rendered = Diagnose.render_report ~src r in
+      let contains needle =
+        let rec go i =
+          i + String.length needle <= String.length rendered
+          && (String.sub rendered i (String.length needle) = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "shows the source line" true (contains "sub(a, 5)");
+      Alcotest.(check bool) "has a caret line" true (contains "^^^");
+      Alcotest.(check bool) "names the check" true (contains "bound check for sub");
+      Alcotest.(check bool) "offers a hint" true (contains "hint:")
+
+let test_diagnose_static_failure () =
+  let src = "val x = mystery" in
+  match check src with
+  | Ok _ -> Alcotest.fail "expected a failure"
+  | Error f ->
+      let rendered = Diagnose.render_failure ~src f in
+      Alcotest.(check bool) "mentions the variable" true
+        (String.length rendered > 0
+        &&
+        let rec go i =
+          i + 7 <= String.length rendered
+          && (String.sub rendered i 7 = "mystery" || go (i + 1))
+        in
+        go 0)
+
+let test_user_program_isolation () =
+  (* the user-only typed AST excludes the basis *)
+  match check "val x = 1" with
+  | Error f -> Alcotest.failf "%s" (Pipeline.failure_to_string f)
+  | Ok r ->
+      Alcotest.(check int) "one user top" 1 (List.length r.Pipeline.rp_user_tprog);
+      Alcotest.(check bool) "basis included in full program" true
+        (List.length r.Pipeline.rp_tprog > 1)
+
+let test_shadowing_and_scopes () =
+  (* index variable shadowing across nested annotations resolves innermost *)
+  match
+    Pipeline.check_valid
+      {|
+fun outer(a) = let
+  fun inner(b) = let
+    fun deepest(i) = if 0 <= i andalso i < length b then sub(b, i) else 0
+    where deepest <| int -> int
+  in deepest(0) end
+  where inner <| {n:nat} int array(n) -> int
+in inner(a) end
+where outer <| {n:nat} int array(n) -> int
+|}
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_higher_order_dependent_argument () =
+  (* passing the dependent primitive itself as a function argument *)
+  match
+    Pipeline.check_valid
+      {|
+fun apply2 f (a, i) = f(a, i)
+where apply2 <| ('a array * int -> 'a) -> 'a array * int -> 'a
+val r = apply2 subCK (array(3, 7), 1)
+|}
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_mutual_recursion_with_where () =
+  match
+    Pipeline.check_valid
+      {|
+fun evenlen(nil) = true
+  | evenlen(_ :: xs) = oddlen(xs)
+and oddlen(nil) = false
+  | oddlen(_ :: xs) = evenlen(xs)
+where oddlen <| {n:nat} 'a list(n) -> bool
+|}
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "stages",
+        [
+          Alcotest.test_case "failure stages" `Quick test_failure_stages;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "solver selection" `Quick test_solver_selection;
+          Alcotest.test_case "user program isolation" `Quick test_user_program_isolation;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "conservativity" `Quick test_conservativity;
+          Alcotest.test_case "scoped annotations" `Quick test_shadowing_and_scopes;
+          Alcotest.test_case "higher-order dependent argument" `Quick
+            test_higher_order_dependent_argument;
+          Alcotest.test_case "mutual recursion with where" `Quick
+            test_mutual_recursion_with_where;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "excerpt rendering" `Quick test_diagnose_excerpt;
+          Alcotest.test_case "static failure rendering" `Quick test_diagnose_static_failure;
+        ] );
+    ]

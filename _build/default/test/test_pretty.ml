@@ -1,0 +1,173 @@
+(* Round-trip tests for the pretty-printer: parse, print, re-parse, compare
+   structurally.  Exercised on every bundled program (including the basis)
+   and on randomly generated expressions. *)
+
+open Dml_lang
+
+let roundtrip_program name src =
+  let prog =
+    try Parser.parse_program src
+    with Parser.Error (msg, loc) ->
+      Alcotest.failf "%s: parse: %s at %s" name msg (Loc.to_string loc)
+  in
+  let printed = Pretty.program_to_string prog in
+  let reparsed =
+    try Parser.parse_program printed
+    with
+    | Parser.Error (msg, loc) ->
+        Alcotest.failf "%s: reparse failed: %s at %s\n--- printed:\n%s" name msg
+          (Loc.to_string loc) printed
+    | Lexer.Error (msg, loc) ->
+        Alcotest.failf "%s: relex failed: %s at %s\n--- printed:\n%s" name msg
+          (Loc.to_string loc) printed
+  in
+  if not (Pretty.Equal.program prog reparsed) then
+    Alcotest.failf "%s: round-trip changed the program\n--- printed:\n%s" name printed
+
+let program_cases =
+  List.map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      Alcotest.test_case b.Dml_programs.Programs.name `Quick (fun () ->
+          roundtrip_program b.Dml_programs.Programs.name b.Dml_programs.Programs.source))
+    Dml_programs.Programs.all
+
+let test_basis () = roundtrip_program "basis" Dml_core.Basis.source
+
+(* --- random expression round-trips --------------------------------------------- *)
+
+let gen_exp =
+  let open QCheck.Gen in
+  let mk d = Ast.mk_exp d Loc.dummy in
+  let var = oneofl [ "x"; "y"; "f"; "g"; "zs" ] in
+  let rec gen n =
+    if n = 0 then
+      oneof
+        [
+          map (fun i -> mk (Ast.Eint i)) (int_range (-20) 20);
+          map (fun b -> mk (Ast.Ebool b)) bool;
+          map (fun x -> mk (Ast.Evar x)) var;
+          map (fun c -> mk (Ast.Echar c)) (oneofl [ 'a'; 'Z'; '0'; ' '; '\n'; '"'; '\\' ]);
+          map
+            (fun parts -> mk (Ast.Estring (String.concat "" parts)))
+            (list_size (int_range 0 4) (oneofl [ "ab"; "\n"; "\t"; "\\"; "\""; "x" ]));
+          return (mk (Ast.Etuple []));
+        ]
+    else
+      let sub = gen (n / 2) in
+      frequency
+        [
+          (2, gen 0);
+          (2, map2 (fun f a -> mk (Ast.Eapp (f, a))) sub sub);
+          ( 2,
+            map2
+              (fun op (a, b) ->
+                mk (Ast.Eapp (mk (Ast.Evar op), mk (Ast.Etuple [ a; b ]))))
+              (oneofl [ "+"; "-"; "*"; "div"; "<"; "<="; "="; "::" ])
+              (pair sub sub) );
+          (1, map3 (fun a b c -> mk (Ast.Eif (a, b, c))) sub sub sub);
+          (1, map2 (fun a b -> mk (Ast.Eandalso (a, b))) sub sub);
+          (1, map2 (fun a b -> mk (Ast.Eorelse (a, b))) sub sub);
+          (1, map (fun es -> mk (Ast.Etuple es)) (list_size (int_range 2 3) sub));
+          ( 1,
+            map2
+              (fun x body -> mk (Ast.Efn (Ast.mk_pat (Ast.Pvar x) Loc.dummy, body)))
+              var sub );
+          ( 1,
+            map3
+              (fun x e body ->
+                mk
+                  (Ast.Elet
+                     ( [ Ast.mk_dec (Ast.Dval (Ast.mk_pat (Ast.Pvar x) Loc.dummy, e, None)) Loc.dummy ],
+                       body )))
+              var sub sub );
+          ( 1,
+            map3
+              (fun scrut x body ->
+                mk
+                  (Ast.Ecase
+                     ( scrut,
+                       [
+                         (Ast.mk_pat (Ast.Pint 0) Loc.dummy, body);
+                         (Ast.mk_pat (Ast.Pvar x) Loc.dummy, mk (Ast.Eint 1));
+                       ] )))
+              sub var sub );
+        ]
+  in
+  gen 12
+
+let prop_exp_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"random expression round-trip"
+       (QCheck.make ~print:Pretty.exp_to_string gen_exp)
+       (fun e ->
+         let printed = Pretty.exp_to_string e in
+         match Parser.parse_exp printed with
+         | reparsed -> Pretty.Equal.exp e reparsed
+         | exception _ -> false))
+
+(* --- random type round-trips ------------------------------------------------------ *)
+
+let gen_stype =
+  let open QCheck.Gen in
+  let rec gen_idx n =
+    if n = 0 then
+      oneof
+        [ map (fun i -> Ast.Siconst i) (int_range 0 9); oneofl [ Ast.Siname "n"; Ast.Siname "m" ] ]
+    else
+      let sub = gen_idx (n / 2) in
+      frequency
+        [
+          (3, gen_idx 0);
+          ( 2,
+            map3
+              (fun op a b -> Ast.Sibin (op, a, b))
+              (oneofl [ Ast.Oadd; Ast.Osub; Ast.Omul; Ast.Omin; Ast.Omax; Ast.Odiv ])
+              sub sub );
+        ]
+  in
+  let rec gen n =
+    if n = 0 then
+      oneof
+        [
+          oneofl [ Ast.STvar "a"; Ast.STcon ([], "int", []); Ast.STcon ([], "bool", []) ];
+          map (fun i -> Ast.STcon ([], "int", [ i ])) (gen_idx 2);
+        ]
+    else
+      let sub = gen (n / 2) in
+      frequency
+        [
+          (2, gen 0);
+          (2, map2 (fun a b -> Ast.STarrow (a, b)) sub sub);
+          (1, map (fun ts -> Ast.STtuple ts) (list_size (int_range 2 3) sub));
+          (1, map2 (fun t i -> Ast.STcon ([ t ], "array", [ i ])) sub (gen_idx 2));
+          ( 1,
+            map2
+              (fun t c ->
+                Ast.STpi ({ Ast.qvars = [ ("n", "nat") ]; qcond = c }, t))
+              sub
+              (option (map (fun i -> Ast.Sibin (Ast.Ole, Ast.Siname "n", i)) (gen_idx 1))) );
+          ( 1,
+            map
+              (fun t -> Ast.STsigma ({ Ast.qvars = [ ("m", "int") ]; qcond = None }, t))
+              sub );
+        ]
+  in
+  gen 8
+
+let prop_stype_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"random type round-trip"
+       (QCheck.make ~print:Pretty.stype_to_string gen_stype)
+       (fun t ->
+         let printed = Pretty.stype_to_string t in
+         match Parser.parse_stype printed with
+         | reparsed -> Pretty.Equal.stype t reparsed
+         | exception _ -> false))
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ("programs round-trip", program_cases);
+      ("basis", [ Alcotest.test_case "basis round-trip" `Quick test_basis ]);
+      ("properties", [ prop_exp_roundtrip; prop_stype_roundtrip ]);
+    ]
