@@ -1,0 +1,22 @@
+.PHONY: all check build test fuzz clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# A fuzz smoke run with a hard timeout: the budgeted solver must never hang,
+# so a wedged run is itself a failure.
+fuzz:
+	timeout 300 dune exec test/test_fuzz_pipeline.exe
+	timeout 300 dune exec test/test_budget.exe
+
+check: build
+	timeout 600 dune runtest
+	$(MAKE) fuzz
+
+clean:
+	dune clean

@@ -33,6 +33,47 @@ let solver_method =
   let doc = "Constraint solver: fm (Fourier-Motzkin with integral tightening), fm-plain, simplex." in
   Arg.(value & opt (enum methods) Dml_solver.Solver.Fm_tightened & info [ "solver" ] ~doc)
 
+(* Per-obligation solver budget and escalation; together with the method this
+   builds the pipeline's solve_config. *)
+let solve_config =
+  let fuel =
+    let doc = "Solver fuel per obligation (abstract work units: DNF disjuncts, \
+               Fourier combinations, simplex pivots)." in
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  let timeout_ms =
+    let doc = "Wall-clock solver deadline per obligation, in milliseconds." in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_elim =
+    let doc = "Maximum Fourier-Motzkin variable eliminations per obligation." in
+    Arg.(value & opt (some int) None & info [ "max-elim" ] ~docv:"N" ~doc)
+  in
+  let escalate =
+    let doc = "Retry unproven goals with stronger methods (fm-plain, fm, simplex) \
+               under the remaining budget." in
+    Arg.(value & flag & info [ "escalate" ] ~doc)
+  in
+  let build sc_method sc_escalate sc_fuel sc_timeout_ms sc_max_eliminations =
+    { Pipeline.sc_method; sc_escalate; sc_fuel; sc_timeout_ms; sc_max_eliminations }
+  in
+  Term.(const build $ solver_method $ escalate $ fuel $ timeout_ms $ max_elim)
+
+let degrade_flag =
+  let strict =
+    ( false,
+      Arg.info [ "strict" ]
+        ~doc:"Reject programs with unproven obligations (the default)." )
+  in
+  let degrade =
+    ( true,
+      Arg.info [ "degrade" ]
+        ~doc:
+          "Graceful degradation: accept programs with unproven obligations, keeping \
+           a dynamic bound check at exactly the unproven sites." )
+  in
+  Arg.(value & vflag false [ strict; degrade ])
+
 let file_arg =
   let doc = "Program file, or the name of a bundled benchmark (see $(b,dmlc list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
@@ -44,11 +85,11 @@ let exit_err msg =
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run method_ file =
+  let run config degrade file =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~method_ src with
+        match Pipeline.check ~config src with
         | Error f -> exit_err (Diagnose.render_failure ~src f)
         | Ok report ->
             Format.printf "%a@." Pipeline.pp_report report;
@@ -56,20 +97,23 @@ let check_cmd =
               (fun (msg, loc) ->
                 Format.printf "warning at %a: %s@." Dml_lang.Loc.pp loc msg)
               report.Pipeline.rp_warnings;
-            print_string (Diagnose.render_report ~src report);
-            if not report.Pipeline.rp_valid then exit 1)
+            if degrade then print_string (Diagnose.render_degradation ~src report)
+            else begin
+              print_string (Diagnose.render_report ~src report);
+              if not report.Pipeline.rp_valid then exit 1
+            end)
   in
   let doc = "Type check a program with dependent types and solve its constraints." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ solver_method $ file_arg)
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ solve_config $ degrade_flag $ file_arg)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
 let constraints_cmd =
-  let run method_ file =
+  let run config file =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~method_ src with
+        match Pipeline.check ~config src with
         | Error f -> exit_err (Pipeline.failure_to_string f)
         | Ok report ->
             List.iter
@@ -82,30 +126,48 @@ let constraints_cmd =
               report.Pipeline.rp_obligations)
   in
   let doc = "Print every constraint generated during elaboration, with its verdict." in
-  Cmd.v (Cmd.info "constraints" ~doc) Term.(const run $ solver_method $ file_arg)
+  Cmd.v (Cmd.info "constraints" ~doc) Term.(const run $ solve_config $ file_arg)
 
 (* --- run -------------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run file binding unchecked backend =
+  let run config degrade file binding unchecked backend =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check_valid src with
-        | Error msg -> exit_err msg
+        match Pipeline.check ~config src with
+        | Error f -> exit_err (Diagnose.render_failure ~src f)
+        | Ok report when (not report.Pipeline.rp_valid) && not degrade ->
+            exit_err (Diagnose.render_report ~src report)
         | Ok report ->
             let tprog = report.Pipeline.rp_tprog in
             let mode = if unchecked then Dml_eval.Prims.Unchecked else Dml_eval.Prims.Checked in
+            let residual_sites = not report.Pipeline.rp_valid in
+            let counters = Dml_eval.Prims.new_counters () in
             let lookup =
               match backend with
               | `Interp ->
-                  let env = Dml_eval.Interp.initial_env (Dml_eval.Prims.table mode ()) in
+                  (* the AST interpreter has no per-site compilation: with
+                     residual sites it conservatively keeps every check *)
+                  let mode = if residual_sites then Dml_eval.Prims.Checked else mode in
+                  let env =
+                    Dml_eval.Interp.initial_env (Dml_eval.Prims.table mode ~counters ())
+                  in
                   Dml_eval.Interp.lookup (Dml_eval.Interp.run_program env tprog)
               | `Compiled ->
-                  let ce = Dml_eval.Compile.initial (Dml_eval.Prims.table mode ()) in
+                  let degraded =
+                    if residual_sites then Some (Pipeline.degraded_pred report) else None
+                  in
+                  let ce = Dml_eval.Compile.initial_fast mode ~counters ?degraded () in
                   Dml_eval.Compile.lookup (Dml_eval.Compile.run_program ce tprog)
             in
-            Format.printf "%s = %a@." binding Dml_eval.Value.pp (lookup binding))
+            Format.printf "%s = %a@." binding Dml_eval.Value.pp (lookup binding);
+            if degrade && residual_sites then
+              Format.printf
+                "degraded: %d unproven site(s) (%d timed out); residual dynamic checks \
+                 executed: %d@."
+                report.Pipeline.rp_residual report.Pipeline.rp_timeouts
+                counters.Dml_eval.Prims.dynamic_checks)
   in
   let binding =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"BINDING" ~doc:"Binding to print.")
@@ -120,7 +182,8 @@ let run_cmd =
       & info [ "backend" ] ~doc:"Evaluation backend.")
   in
   let doc = "Type check, evaluate, and print a top-level binding." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ file_arg $ binding $ unchecked $ backend)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ solve_config $ degrade_flag $ file_arg $ binding $ unchecked $ backend)
 
 (* --- tables ------------------------------------------------------------------------- *)
 

@@ -89,9 +89,57 @@ let print_binding mlenv lookup name =
           Format.printf "val %s : %a = %a@." name Mltype.pp_scheme scheme Dml_eval.Value.pp v
       | None, _ -> Format.printf "val %s : %a@." name Mltype.pp_scheme scheme)
 
+(* command-line options: budgets and the strict/degrade switch *)
+type options = {
+  mutable degrade : bool;
+  mutable fuel : int option;
+  mutable timeout_ms : int option;
+  mutable escalate : bool;
+}
+
+let usage =
+  "usage: dmli [--degrade] [--fuel N] [--timeout-ms MS] [--escalate]\n\
+  \  --degrade     accept entries with unproven obligations; their sites keep\n\
+  \                dynamic checks (a failing check raises Subscript)\n\
+  \  --fuel N      solver fuel per obligation\n\
+  \  --timeout-ms MS  wall-clock solver deadline per obligation\n\
+  \  --escalate    retry unproven goals with stronger solver methods\n"
+
+let parse_options () =
+  let o = { degrade = false; fuel = None; timeout_ms = None; escalate = false } in
+  let rec go = function
+    | [] -> o
+    | "--degrade" :: rest ->
+        o.degrade <- true;
+        go rest
+    | "--escalate" :: rest ->
+        o.escalate <- true;
+        go rest
+    | "--fuel" :: n :: rest when int_of_string_opt n <> None ->
+        o.fuel <- int_of_string_opt n;
+        go rest
+    | "--timeout-ms" :: n :: rest when int_of_string_opt n <> None ->
+        o.timeout_ms <- int_of_string_opt n;
+        go rest
+    | arg :: _ ->
+        prerr_string (Printf.sprintf "dmli: unknown or malformed argument %S\n%s" arg usage);
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
 let () =
+  let opts = parse_options () in
+  let config =
+    {
+      Pipeline.default_config with
+      Pipeline.sc_escalate = opts.escalate;
+      sc_fuel = opts.fuel;
+      sc_timeout_ms = opts.timeout_ms;
+    }
+  in
   Format.printf "dml interactive - PLDI'98 dependent types; end entries with ;;@.";
-  Format.printf "(#quit to exit, #show to list the session so far)@.";
+  Format.printf "(#quit to exit, #show to list the session so far%s)@."
+    (if opts.degrade then "; degraded mode: unproven sites stay checked" else "");
   let session = ref "" in
   let rec loop () =
     match read_entry () with
@@ -103,17 +151,23 @@ let () =
     | Some entry ->
         let fragment = if is_decl entry then entry else Printf.sprintf "val it = %s" entry in
         let candidate = !session ^ "\n" ^ fragment ^ "\n" in
-        (match Pipeline.check candidate with
+        (match Pipeline.check ~config candidate with
         | Error f -> print_string (Diagnose.render_failure ~src:candidate f)
-        | Ok report when not report.Pipeline.rp_valid ->
+        | Ok report when (not report.Pipeline.rp_valid) && not opts.degrade ->
             print_string (Diagnose.render_report ~src:candidate report)
         | Ok report -> (
             session := candidate;
+            if not report.Pipeline.rp_valid then
+              print_string (Diagnose.render_degradation ~src:candidate report);
             match Parser.parse_program fragment with
             | exception _ -> ()
             | prog ->
+                let degraded =
+                  if report.Pipeline.rp_valid then None
+                  else Some (Pipeline.degraded_pred report)
+                in
                 let ce =
-                  Dml_eval.Compile.initial_fast Dml_eval.Prims.Unchecked ()
+                  Dml_eval.Compile.initial_fast Dml_eval.Prims.Unchecked ?degraded ()
                 in
                 (match Dml_eval.Compile.run_program ce report.Pipeline.rp_tprog with
                 | ce ->

@@ -3,7 +3,12 @@ open Dml_solver
 
 let source_lines src = Array.of_list (String.split_on_char '\n' src)
 
-(* Render the source line(s) under a location with a caret underline. *)
+(* Render the source line(s) under a location with a caret underline.  The
+   caret row is clamped to the text of its line: elaboration locations can
+   point one past the end of a line (or to a column beyond it after a
+   multi-line span is truncated to its first line), and a location may span
+   several lines, in which case the first line is underlined from the start
+   column to its end. *)
 let excerpt src (loc : Loc.t) =
   let lines = source_lines src in
   let first = loc.Loc.start_pos.Loc.line and last = loc.Loc.end_pos.Loc.line in
@@ -14,10 +19,12 @@ let excerpt src (loc : Loc.t) =
       let text = lines.(i - 1) in
       Buffer.add_string buf (Printf.sprintf "  %4d | %s\n" i text);
       if i = first then begin
-        let from_col = loc.Loc.start_pos.Loc.col in
+        let len = String.length text in
+        (* clamp into the line; an empty line still gets one caret *)
+        let from_col = max 1 (min loc.Loc.start_pos.Loc.col (max len 1)) in
         let to_col =
-          if first = last then max (loc.Loc.end_pos.Loc.col - 1) from_col
-          else String.length text
+          if first = last then min (max (loc.Loc.end_pos.Loc.col - 1) from_col) (max len 1)
+          else max len from_col
         in
         Buffer.add_string buf "       | ";
         for c = 1 to to_col do
@@ -49,6 +56,9 @@ let render_obligation ~src (co : Pipeline.checked_obligation) =
       | Solver.Unsupported msg ->
           Buffer.add_string buf
             (Printf.sprintf "  outside the linear fragment: %s\n" msg)
+      | Solver.Timeout msg ->
+          Buffer.add_string buf
+            (Printf.sprintf "  solver budget exhausted before a decision: %s\n" msg)
       | Solver.Valid -> ());
       Buffer.add_string buf
         "  hint: strengthen the where-clause invariant or use the checked (..CK) access.\n";
@@ -64,6 +74,35 @@ let render_report ~src (report : Pipeline.report) =
     ^ Printf.sprintf "\n%d of %d constraints unproven.\n" (List.length failures)
         report.Pipeline.rp_constraints
   end
+
+let verdict_class = function
+  | Solver.Valid -> "proven"
+  | Solver.Not_valid _ -> "refuted or unprovable"
+  | Solver.Unsupported _ -> "outside the solver's fragment"
+  | Solver.Timeout _ -> "solver budget exhausted"
+
+(* One line per degraded site: where, what, and why the site keeps its
+   dynamic check. *)
+let render_degradation ~src (report : Pipeline.report) =
+  match Pipeline.unproven report with
+  | [] ->
+      Printf.sprintf "All %d constraints proven; no site degraded.\n"
+        report.Pipeline.rp_constraints
+  | residual ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%d of %d constraint(s) unproven; the site(s) below keep their dynamic checks:\n"
+           (List.length residual) report.Pipeline.rp_constraints);
+      List.iter
+        (fun (co : Pipeline.checked_obligation) ->
+          let ob = co.Pipeline.co_obligation in
+          Buffer.add_string buf
+            (Format.asprintf "  %a: %s — %s@." Loc.pp ob.Elab.ob_loc ob.Elab.ob_what
+               (verdict_class co.Pipeline.co_verdict));
+          Buffer.add_string buf (excerpt src ob.Elab.ob_loc))
+        residual;
+      Buffer.contents buf
 
 let render_failure ~src (f : Pipeline.failure) =
   Format.asprintf "%a@.%s" Pipeline.pp_failure f (excerpt src f.Pipeline.f_loc)

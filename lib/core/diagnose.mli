@@ -14,5 +14,10 @@ val render_obligation :
 val render_report : src:string -> Pipeline.report -> string
 (** All unproven obligations of a report, or a one-line success summary. *)
 
+val render_degradation : src:string -> Pipeline.report -> string
+(** Degradation summary: one entry per unproven obligation, saying where the
+    residual dynamic check sits and why the solver left it (refuted, outside
+    the fragment, or budget exhausted). *)
+
 val render_failure : src:string -> Pipeline.failure -> string
 (** A static failure (lex/parse/ML/elaboration) with its source excerpt. *)

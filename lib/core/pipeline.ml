@@ -3,17 +3,45 @@ open Dml_solver
 open Dml_mltype
 
 type failure = {
-  f_stage : [ `Lex | `Parse | `Mltype | `Elab ];
+  f_stage : [ `Lex | `Parse | `Mltype | `Elab | `Internal ];
   f_msg : string;
   f_loc : Loc.t;
 }
 
 type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
 
+type solve_config = {
+  sc_method : Solver.method_;
+  sc_escalate : bool;  (* retry unproven goals along Solver.default_ladder *)
+  sc_fuel : int option;
+  sc_timeout_ms : int option;
+  sc_max_eliminations : int option;
+}
+
+let default_config =
+  {
+    sc_method = Solver.Fm_tightened;
+    sc_escalate = false;
+    sc_fuel = None;
+    sc_timeout_ms = None;
+    sc_max_eliminations = None;
+  }
+
+(* A fresh budget per obligation: one pathological constraint exhausts its
+   own allowance and degrades its own site, without starving the rest of the
+   program. *)
+let budget_of_config c =
+  match (c.sc_fuel, c.sc_timeout_ms, c.sc_max_eliminations) with
+  | None, None, None -> None
+  | fuel, timeout_ms, max_eliminations ->
+      Some (Budget.create ?fuel ?timeout_ms ?max_eliminations ())
+
 type report = {
   rp_obligations : checked_obligation list;
   rp_valid : bool;
   rp_constraints : int;
+  rp_residual : int;
+  rp_timeouts : int;
   rp_gen_time : float;
   rp_solve_time : float;
   rp_solver_stats : Solver.stats;
@@ -42,13 +70,27 @@ let annotation_metrics spans =
     spans;
   (List.length spans, Hashtbl.length lines)
 
-let check ?(method_ = Solver.Fm_tightened) src =
+let unproven report =
+  List.filter (fun co -> co.co_verdict <> Solver.Valid) report.rp_obligations
+
+let degraded_sites report =
+  List.map (fun co -> co.co_obligation.Elab.ob_loc) (unproven report)
+
+let degraded_pred report =
+  match degraded_sites report with
+  | [] -> fun _ -> false
+  | sites -> fun loc -> List.mem loc sites
+
+let check ?(method_ = Solver.Fm_tightened) ?config src =
+  let config =
+    match config with Some c -> c | None -> { default_config with sc_method = method_ }
+  in
   try
-    let t0 = Sys.time () in
+    let t0 = Budget.now () in
     (* parse the basis, then the user program (keeping its annotation spans) *)
     let basis_prog = Parser.parse_program Basis.source in
-    let user_prog = Parser.parse_program src in
-    let annotations, annotation_lines = annotation_metrics !Parser.annotation_spans in
+    let user_prog, spans = Parser.parse_program_with_spans src in
+    let annotations, annotation_lines = annotation_metrics spans in
     (* phase 1 over basis + user code *)
     let ml0 = Infer.initial Tyenv.builtin [] in
     let mlenv, tprog = Infer.infer_program ml0 (basis_prog @ user_prog) in
@@ -57,25 +99,37 @@ let check ?(method_ = Solver.Fm_tightened) src =
     (* phase 2 *)
     let denv0 = Denv.builtin mlenv.Infer.tyenv in
     let { Elab.res_denv; res_obligations } = Elab.elaborate denv0 tprog in
-    let gen_time = Sys.time () -. t0 in
-    (* solve *)
+    let gen_time = Budget.now () -. t0 in
+    (* solve, each obligation under its own budget and isolation barrier *)
     let stats = Solver.new_stats () in
-    let t1 = Sys.time () in
+    let t1 = Budget.now () in
     let obligations =
       List.map
         (fun ob ->
+          let budget = budget_of_config config in
           {
             co_obligation = ob;
-            co_verdict = Solver.check_constraint ~method_ ~stats ob.Elab.ob_constr;
+            co_verdict =
+              Solver.check_constraint ~method_:config.sc_method
+                ~escalate:config.sc_escalate ~stats ?budget ob.Elab.ob_constr;
           })
         res_obligations
     in
-    let solve_time = Sys.time () -. t1 in
+    let solve_time = Budget.now () -. t1 in
+    let residual = List.filter (fun co -> co.co_verdict <> Solver.Valid) obligations in
+    let timeouts =
+      List.length
+        (List.filter
+           (fun co -> match co.co_verdict with Solver.Timeout _ -> true | _ -> false)
+           obligations)
+    in
     Ok
       {
         rp_obligations = obligations;
-        rp_valid = List.for_all (fun co -> co.co_verdict = Solver.Valid) obligations;
+        rp_valid = residual = [];
         rp_constraints = List.length obligations;
+        rp_residual = List.length residual;
+        rp_timeouts = timeouts;
         rp_gen_time = gen_time;
         rp_solve_time = solve_time;
         rp_solver_stats = stats;
@@ -93,27 +147,40 @@ let check ?(method_ = Solver.Fm_tightened) src =
   | Parser.Error (msg, loc) -> Error { f_stage = `Parse; f_msg = msg; f_loc = loc }
   | Infer.Type_error (msg, loc) -> Error { f_stage = `Mltype; f_msg = msg; f_loc = loc }
   | Elab.Error (msg, loc) -> Error { f_stage = `Elab; f_msg = msg; f_loc = loc }
+  | Sys.Break as e -> raise e
+  | Stack_overflow ->
+      Error { f_stage = `Internal; f_msg = "stack overflow"; f_loc = Loc.dummy }
+  | Out_of_memory ->
+      Error { f_stage = `Internal; f_msg = "out of memory"; f_loc = Loc.dummy }
+  | e ->
+      (* the front end must never kill a caller on arbitrary input; anything
+         uncaught above is a bug, reported as a failure rather than raised *)
+      Error
+        {
+          f_stage = `Internal;
+          f_msg = "unexpected exception: " ^ Printexc.to_string e;
+          f_loc = Loc.dummy;
+        }
 
 let stage_name = function
   | `Lex -> "lexical error"
   | `Parse -> "syntax error"
   | `Mltype -> "type error"
   | `Elab -> "dependent type error"
+  | `Internal -> "internal error"
 
 let pp_failure fmt f =
   Format.fprintf fmt "%s at %a: %s" (stage_name f.f_stage) Loc.pp f.f_loc f.f_msg
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
 
-let check_valid src =
-  match check src with
+let check_valid ?config src =
+  match check ?config src with
   | Error f -> Error (failure_to_string f)
   | Ok report ->
       if report.rp_valid then Ok report
       else begin
-        let failing =
-          List.filter (fun co -> co.co_verdict <> Solver.Valid) report.rp_obligations
-        in
+        let failing = unproven report in
         let msgs =
           List.map
             (fun co ->
@@ -131,5 +198,8 @@ let pp_report fmt r =
     "@[<v>constraints: %d (%s)@ generation: %.4fs, solving: %.4fs@ annotations: %d on %d \
      line(s), %d code line(s)@]"
     r.rp_constraints
-    (if r.rp_valid then "all valid" else "SOME UNPROVEN")
+    (if r.rp_valid then "all valid"
+     else
+       Printf.sprintf "%d unproven%s" r.rp_residual
+         (if r.rp_timeouts > 0 then Printf.sprintf ", %d timed out" r.rp_timeouts else ""))
     r.rp_gen_time r.rp_solve_time r.rp_annotations r.rp_annotation_lines r.rp_code_lines

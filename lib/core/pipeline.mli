@@ -2,26 +2,56 @@
     dependent elaboration (phase 2), constraint solving.
 
     The basis ({!Basis.source}) is processed through the same pipeline
-    before the user program. *)
+    before the user program.
+
+    Solving is *per-obligation and resource-governed*: each obligation runs
+    under its own fresh {!Dml_solver.Budget.t} (built from the
+    {!solve_config}) behind the solver's isolation barrier, so one
+    pathological constraint times out or faults alone — its verdict becomes
+    [Timeout]/[Unsupported] — while every other obligation is still decided.
+    A report with residual (unproven) obligations supports two consumptions:
+    strict mode rejects the program ({!check_valid}); degraded mode compiles
+    it with dynamic checks at exactly the residual sites
+    ({!degraded_sites}/{!degraded_pred}, consumed by [Dml_eval.Compile] and
+    [Dml_eval.Cycles]). *)
 
 open Dml_lang
 open Dml_solver
 open Dml_mltype
 
 type failure = {
-  f_stage : [ `Lex | `Parse | `Mltype | `Elab ];
+  f_stage : [ `Lex | `Parse | `Mltype | `Elab | `Internal ];
   f_msg : string;
   f_loc : Loc.t;
 }
 
 type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
 
+type solve_config = {
+  sc_method : Solver.method_;  (** first (or only) method tried per goal *)
+  sc_escalate : bool;
+      (** retry unproven goals along {!Solver.default_ladder} under the
+          remaining budget *)
+  sc_fuel : int option;  (** abstract work units per obligation *)
+  sc_timeout_ms : int option;  (** wall-clock deadline per obligation *)
+  sc_max_eliminations : int option;
+      (** Fourier variable-elimination bound per obligation *)
+}
+
+val default_config : solve_config
+(** [Fm_tightened], no escalation, unlimited budget — the seed behaviour. *)
+
+val budget_of_config : solve_config -> Budget.t option
+(** A fresh budget for one obligation; [None] when the config sets no limit. *)
+
 type report = {
   rp_obligations : checked_obligation list;
   rp_valid : bool;  (** all obligations proved *)
   rp_constraints : int;  (** number of generated constraints *)
-  rp_gen_time : float;  (** CPU seconds: parse + phase 1 + phase 2 *)
-  rp_solve_time : float;  (** CPU seconds: constraint solving *)
+  rp_residual : int;  (** obligations left unproven (degraded sites) *)
+  rp_timeouts : int;  (** of those, how many hit their budget *)
+  rp_gen_time : float;  (** wall-clock seconds (monotonic): parse + phases 1/2 *)
+  rp_solve_time : float;  (** wall-clock seconds (monotonic): constraint solving *)
   rp_solver_stats : Solver.stats;
   rp_annotations : int;  (** number of type annotations in the user program *)
   rp_annotation_lines : int;  (** distinct source lines they occupy *)
@@ -34,13 +64,31 @@ type report = {
   rp_denv : Denv.t;
 }
 
-val check : ?method_:Solver.method_ -> string -> (report, failure) result
-(** Runs the full pipeline on a user program (the basis is prepended). *)
+val check :
+  ?method_:Solver.method_ -> ?config:solve_config -> string -> (report, failure) result
+(** Runs the full pipeline on a user program (the basis is prepended).
+    [?method_] is a shorthand for [{ default_config with sc_method }];
+    [?config] takes precedence over it.  Never raises on any input: staged
+    front-end errors are returned as failures, and an unexpected exception
+    (including stack overflow) is reported as an [`Internal] failure rather
+    than propagated. *)
 
-val check_valid : string -> (report, string) result
-(** Like {!check} but also turns unproven obligations into an error
-    message listing the failing constraints. *)
+val check_valid : ?config:solve_config -> string -> (report, string) result
+(** Strict mode: like {!check} but also turns unproven obligations (including
+    timeouts) into an error message listing the failing constraints. *)
 
+val unproven : report -> checked_obligation list
+(** Obligations whose verdict is not [Valid], in generation order. *)
+
+val degraded_sites : report -> Loc.t list
+(** Source locations of the unproven obligations: the sites that must keep
+    their dynamic checks under graceful degradation. *)
+
+val degraded_pred : report -> Loc.t -> bool
+(** Membership predicate over {!degraded_sites} (constant-false when the
+    report is fully valid), in the shape the backends consume. *)
+
+val stage_name : [ `Lex | `Parse | `Mltype | `Elab | `Internal ] -> string
 val pp_failure : Format.formatter -> failure -> unit
 val failure_to_string : failure -> string
 val pp_report : Format.formatter -> report -> unit

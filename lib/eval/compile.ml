@@ -1,3 +1,4 @@
+open Dml_lang
 open Dml_mltype
 open Value
 
@@ -11,25 +12,40 @@ type compiled_env = {
   names : cenv;
   values : renv;
   fast : (string * Prims.fast) list;  (* direct-call primitives *)
+  checked_fast : (string * Prims.fast) list;  (* impls for degraded sites *)
+  degraded : Loc.t -> bool;  (* sites that must keep their dynamic check *)
   base_len : int;  (* depth of the primitive region at the bottom of [names] *)
 }
 
 exception Match_failure_dml of string
 
+let no_sites _ = false
+
 let initial prims =
   List.fold_left
     (fun ce (x, v) -> { ce with names = x :: ce.names; values = v :: ce.values })
-    { names = []; values = []; fast = []; base_len = 0 }
+    { names = []; values = []; fast = []; checked_fast = []; degraded = no_sites; base_len = 0 }
     prims
 
-let initial_fast mode ?counters () =
+let initial_fast mode ?counters ?degraded () =
   let fast = Prims.fast_table mode ?counters () in
+  (* Under graceful degradation, direct calls at degraded sites and every
+     first-class (non-direct) use of a primitive get the checked
+     implementation; only direct calls at proven sites stay unchecked. *)
+  let checked_fast, value_table =
+    match degraded with
+    | None -> (fast, fast)
+    | Some _ ->
+        let checked = Prims.fast_table Prims.Checked ?counters () in
+        (checked, checked)
+  in
+  let degraded = Option.value degraded ~default:no_sites in
   let ce =
     List.fold_left
       (fun ce (x, f) ->
         { ce with names = x :: ce.names; values = Prims.value_of_fast f :: ce.values })
-      { names = []; values = []; fast; base_len = 0 }
-      fast
+      { names = []; values = []; fast; checked_fast; degraded; base_len = 0 }
+      value_table
   in
   { ce with base_len = List.length ce.names }
 
@@ -95,7 +111,12 @@ let rec compile_pat (p : Tast.tpat) : string list * (Value.t -> Value.t list opt
 let extend_cenv cenv names = List.rev_append names cenv
 let extend_renv renv values = List.rev_append values renv
 
-type info = { ifast : (string * Prims.fast) list; ibase : int }
+type info = {
+  ifast : (string * Prims.fast) list;
+  ichecked : (string * Prims.fast) list;
+  idegraded : Loc.t -> bool;
+  ibase : int;
+}
 
 let rec compile info cenv (e : Tast.texp) : renv -> Value.t =
   match e.Tast.tdesc with
@@ -132,7 +153,8 @@ let rec compile info cenv (e : Tast.texp) : renv -> Value.t =
       let direct =
         match f.Tast.tdesc with
         | Tast.TEvar (x, _) -> begin
-            match List.assoc_opt x info.ifast with
+            let table = if info.idegraded e.Tast.tloc then info.ichecked else info.ifast in
+            match List.assoc_opt x table with
             | Some fast when index_of cenv x >= List.length cenv - info.ibase -> (
                 match (fast, a.Tast.tdesc) with
                 | Prims.F1 g, _ ->
@@ -313,10 +335,17 @@ let run_program ce (prog : Tast.tprogram) =
     (fun ce ttop ->
       match ttop with
       | Tast.TTdec d ->
-          let info = { ifast = ce.fast; ibase = ce.base_len } in
+          let info =
+            { ifast = ce.fast; ichecked = ce.checked_fast;
+              idegraded = ce.degraded; ibase = ce.base_len }
+          in
           let names', transform = compile_dec info ce.names d in
           { ce with names = names'; values = transform ce.values }
       | Tast.TTdatatype _ | Tast.TTtyperef _ | Tast.TTassert _ | Tast.TTtypedef _ -> ce)
     ce prog
 
-let eval_exp ce e = compile { ifast = ce.fast; ibase = ce.base_len } ce.names e ce.values
+let eval_exp ce e =
+  compile
+    { ifast = ce.fast; ichecked = ce.checked_fast;
+      idegraded = ce.degraded; ibase = ce.base_len }
+    ce.names e ce.values

@@ -9,6 +9,7 @@
     convention), which is what makes the cost of a bounds check visible in
     the run time. *)
 
+open Dml_lang
 open Dml_mltype
 
 type compiled_env
@@ -16,8 +17,17 @@ type compiled_env
 val initial : (string * Value.t) list -> compiled_env
 (** Environment from a plain value table; no direct-call optimisation. *)
 
-val initial_fast : Prims.mode -> ?counters:Prims.counters -> unit -> compiled_env
-(** Environment from {!Prims.fast_table} with direct primitive calls. *)
+val initial_fast :
+  Prims.mode -> ?counters:Prims.counters -> ?degraded:(Loc.t -> bool) -> unit -> compiled_env
+(** Environment from {!Prims.fast_table} with direct primitive calls.
+
+    [?degraded] enables graceful degradation: a direct primitive call whose
+    application node's location satisfies the predicate compiles to the
+    *checked* implementation (it keeps its dynamic bound check), as does
+    every first-class use of a primitive — only direct calls at proven sites
+    use the unchecked [mode] table.  Pass
+    [Dml_core.Pipeline.degraded_pred report] to keep checks at exactly the
+    unproven obligation sites. *)
 
 exception Match_failure_dml of string
 

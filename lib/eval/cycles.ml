@@ -1,3 +1,4 @@
+open Dml_lang
 open Dml_mltype
 open Value
 module SMap = Map.Make (String)
@@ -9,21 +10,31 @@ type env = {
   prims : Prims.fast SMap.t;
       (* costed primitives for inlined direct calls; the benchmark programs
          never rebind primitive names, so recognition by name is safe *)
+  checked_prims : Prims.fast SMap.t;  (* costed checked impls for degraded sites *)
+  degraded : Loc.t -> bool;
   cnt : Prims.counters;
 }
 
 let counters env = env.cnt
 
-let initial_env mode cnt =
-  let costed = Prims.costed_table mode cnt () in
+let costed_fast_map mode cnt =
+  List.fold_left
+    (fun m (x, f) -> SMap.add x (Prims.with_cost cnt (Prims.flat_cost x) f) m)
+    SMap.empty
+    (Prims.fast_table mode ~counters:cnt ())
+
+let initial_env ?degraded mode cnt =
+  (* under degradation, first-class primitive values are conservatively
+     checked; only direct calls at proven sites use the unchecked [mode] *)
+  let bindings_mode = match degraded with Some _ -> Prims.Checked | None -> mode in
+  let costed = Prims.costed_table bindings_mode cnt () in
   let bindings = List.fold_left (fun m (x, v) -> SMap.add x v m) SMap.empty costed in
-  let prims =
-    List.fold_left
-      (fun m (x, f) -> SMap.add x (Prims.with_cost cnt (Prims.flat_cost x) f) m)
-      SMap.empty
-      (Prims.fast_table mode ~counters:cnt ())
+  let prims = costed_fast_map mode cnt in
+  let checked_prims =
+    match degraded with Some _ -> costed_fast_map Prims.Checked cnt | None -> prims
   in
-  { bindings; prims; cnt }
+  let degraded = Option.value degraded ~default:(fun _ -> false) in
+  { bindings; prims; checked_prims; degraded; cnt }
 
 let lookup env x =
   match SMap.find_opt x env.bindings with
@@ -89,7 +100,8 @@ let rec eval_exp env (e : Tast.texp) : Value.t =
       (* a native compiler inlines primitive applications: no call or
          argument-tuple cost, only the primitive's own work (charged inside
          the costed primitive itself) *)
-      match (SMap.find x env.prims, a.Tast.tdesc) with
+      let table = if env.degraded e.Tast.tloc then env.checked_prims else env.prims in
+      match (SMap.find x table, a.Tast.tdesc) with
       | Prims.F1 g, _ -> g (eval_exp env a)
       | Prims.F2 g, Tast.TEtuple [ e1; e2 ] ->
           let v1 = eval_exp env e1 in

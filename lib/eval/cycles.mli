@@ -19,11 +19,18 @@
     - bounds/tag check: 2 ({!Prims.check_cost})
     - list-cell traversal in [nth]: 2 per step *)
 
+open Dml_lang
 open Dml_mltype
 
 type env
 
-val initial_env : Prims.mode -> Prims.counters -> env
+val initial_env : ?degraded:(Loc.t -> bool) -> Prims.mode -> Prims.counters -> env
+(** [?degraded] enables graceful degradation: direct primitive applications
+    at locations satisfying the predicate use the *checked* (costed)
+    implementations, so their residual dynamic checks are executed and
+    counted ([counters.dynamic_checks], plus {!Prims.check_cost} virtual
+    cycles each); first-class primitive values are conservatively checked. *)
+
 val run_program : env -> Tast.tprogram -> env
 val lookup : env -> string -> Value.t
 val counters : env -> Prims.counters

@@ -3,11 +3,14 @@ open Token
 
 exception Error of string * Loc.t
 
-(* Line spans of the type annotations parsed by the last [parse_program]
-   call; used to reproduce Table 1's "annotation lines" metric. *)
-let annotation_spans : (int * int) list ref = ref []
-
-type state = { toks : (Token.t * Loc.t) array; mutable i : int }
+type state = {
+  toks : (Token.t * Loc.t) array;
+  mutable i : int;
+  mutable spans : (int * int) list;
+      (* line spans of the type annotations parsed so far, innermost last;
+         reproduces Table 1's "annotation lines" metric without leaking
+         state across parses *)
+}
 
 let peek st = fst st.toks.(st.i)
 let peek_loc st = snd st.toks.(st.i)
@@ -274,7 +277,7 @@ let p_annot_stype st =
   let end_line =
     if st.i > 0 then (snd st.toks.(st.i - 1)).Loc.end_pos.Loc.line else start_line
   in
-  annotation_spans := (start_line, end_line) :: !annotation_spans;
+  st.spans <- (start_line, end_line) :: st.spans;
   t
 
 (* ---------- patterns --------------------------------------------------------- *)
@@ -816,17 +819,19 @@ let p_top st =
   | VAL | FUN | EXCEPTION -> Tdec (p_dec st)
   | t -> raise (Error (Printf.sprintf "expected a top-level declaration, found %s" (to_string t), peek_loc st))
 
-let make_state src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); i = 0; spans = [] }
 
-let parse_program src =
-  annotation_spans := [];
+let parse_program_with_spans src =
   let st = make_state src in
   let rec loop acc =
     if eat st SEMI then loop acc
     else if peek st = EOF then List.rev acc
     else loop (p_top st :: acc)
   in
-  loop []
+  let prog = loop [] in
+  (prog, List.rev st.spans)
+
+let parse_program src = fst (parse_program_with_spans src)
 
 let parse_exp src =
   let st = make_state src in

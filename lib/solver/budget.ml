@@ -1,0 +1,64 @@
+exception Exhausted of string
+
+type t = {
+  mutable fuel : int;  (* remaining work units; max_int = unbounded *)
+  deadline : float;  (* absolute monotonic seconds; infinity = none *)
+  mutable elims : int;  (* remaining variable eliminations; max_int = unbounded *)
+  mutable tick : int;  (* units spent since the deadline was last polled *)
+}
+
+(* [Unix.gettimeofday] clamped to be non-decreasing: a deadline must never
+   move into the past because the system clock stepped. *)
+let last_now = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+let unlimited () = { fuel = max_int; deadline = infinity; elims = max_int; tick = 0 }
+
+let create ?fuel ?timeout_ms ?max_eliminations () =
+  {
+    fuel = (match fuel with Some f -> max f 0 | None -> max_int);
+    deadline =
+      (match timeout_ms with
+      | Some ms -> now () +. (float_of_int (max ms 0) /. 1000.)
+      | None -> infinity);
+    elims = (match max_eliminations with Some e -> max e 0 | None -> max_int);
+    tick = 0;
+  }
+
+let is_limited b = b.fuel <> max_int || b.deadline < infinity || b.elims <> max_int
+
+(* Poll the clock at most once per this many units: gettimeofday costs tens
+   of nanoseconds, the combination loop's iterations a few. *)
+let poll_interval = 1024
+
+let spend b n =
+  if b.fuel <> max_int then begin
+    b.fuel <- b.fuel - n;
+    if b.fuel < 0 then begin
+      b.fuel <- 0;
+      raise (Exhausted "fuel exhausted")
+    end
+  end;
+  if b.deadline < infinity then begin
+    b.tick <- b.tick + n;
+    if b.tick >= poll_interval then begin
+      b.tick <- 0;
+      if now () >= b.deadline then raise (Exhausted "deadline exceeded")
+    end
+  end
+
+let eliminate b =
+  (* An elimination is rare and expensive relative to [spend]'s units, so
+     always poll the deadline here. *)
+  if b.deadline < infinity && now () >= b.deadline then raise (Exhausted "deadline exceeded");
+  if b.elims <> max_int then begin
+    b.elims <- b.elims - 1;
+    if b.elims < 0 then begin
+      b.elims <- 0;
+      raise (Exhausted "variable elimination limit reached")
+    end
+  end

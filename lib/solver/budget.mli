@@ -1,0 +1,49 @@
+(** Resource governor for the decision procedures.
+
+    The solver is treated as a fallible, budgeted oracle: every potentially
+    exponential phase (DNF expansion, Fourier--Motzkin combination, simplex
+    pivoting) charges abstract fuel units against a shared budget and checks
+    a wall-clock deadline, so a pathological or adversarial constraint ends
+    in a {!exception:Exhausted} — surfaced as a [Timeout] verdict by
+    {!Solver} — instead of hanging the pipeline.
+
+    A budget is mutable and is meant to be shared across the attempts made
+    on one obligation: when an escalation ladder retries a goal with a
+    stronger method, the retry runs under the *remaining* fuel and time. *)
+
+type t
+
+exception Exhausted of string
+(** Raised by {!spend}/{!eliminate} when the budget runs dry.  The payload
+    names the exhausted resource (fuel, deadline, or elimination limit). *)
+
+val unlimited : unit -> t
+(** No fuel, deadline, or elimination bound: {!spend} never raises. *)
+
+val create : ?fuel:int -> ?timeout_ms:int -> ?max_eliminations:int -> unit -> t
+(** A budget with the given limits; omitted limits are unbounded.
+    [fuel] is in abstract work units (one DNF disjunct produced, one
+    Fourier upper/lower combination, half a simplex pivot).  [timeout_ms]
+    is a wall-clock deadline measured from [create] with the monotonic
+    clock {!now}.  [max_eliminations] bounds the number of variables the
+    Fourier procedure may eliminate across all systems of the obligation. *)
+
+val spend : t -> int -> unit
+(** Charge [n] work units.
+    @raise Exhausted when fuel or the deadline runs out.  The deadline is
+    polled at most once per 1024 units spent, so a single [spend] is cheap
+    enough for the innermost combination loops. *)
+
+val eliminate : t -> unit
+(** Charge one Fourier variable elimination.
+    @raise Exhausted past [max_eliminations]. *)
+
+val is_limited : t -> bool
+(** [false] exactly for budgets built by {!unlimited} (or [create] with no
+    limit given): callers can skip bookkeeping entirely. *)
+
+val now : unit -> float
+(** Monotonic wall-clock seconds: [Unix.gettimeofday] clamped so the value
+    never decreases even if the system clock steps backwards.  Used for the
+    deadline and for the pipeline's gen/solve timing (which [Sys.time]'s
+    CPU seconds misrepresent under load or when mostly waiting). *)

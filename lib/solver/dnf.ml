@@ -36,7 +36,12 @@ let rec nnf pos b =
       | Rgt -> lt b a
       | Rne -> Or (lt a b, lt b a))
 
-let dnf b =
+let dnf ?budget b =
+  let charge =
+    match budget with
+    | Some bu when Budget.is_limited bu -> fun n -> Budget.spend bu n
+    | _ -> fun _ -> ()
+  in
   let count = ref 0 in
   let rec go = function
     | Const true -> [ [] ]
@@ -46,12 +51,14 @@ let dnf b =
         let dx = go x and dy = go y in
         let d = dx @ dy in
         count := List.length d;
+        charge !count;
         if !count > max_disjuncts then raise Too_large;
         d
     | And (x, y) ->
         let dx = go x and dy = go y in
         let d = List.concat_map (fun cx -> List.map (fun cy -> cx @ cy) dy) dx in
         count := List.length d;
+        charge !count;
         if !count > max_disjuncts then raise Too_large;
         d
   in

@@ -97,8 +97,14 @@ let pick_var cs vars =
 
 type trace_entry = { tvar : Ivar.t; tuppers : L.cstr list; tlowers : L.cstr list }
 
-let eliminate ?stats ~tighten cs =
+let eliminate ?stats ?budget ~tighten cs =
   let stats = match stats with Some s -> s | None -> new_stats () in
+  let charge, note_elim =
+    match budget with
+    | Some bu when Budget.is_limited bu ->
+        ((fun n -> Budget.spend bu n), fun () -> Budget.eliminate bu)
+    | _ -> ((fun _ -> ()), fun () -> ())
+  in
   let trace = ref [] in
   let cs = norm_all ~tighten cs in
   let cs = gauss ~tighten cs in
@@ -111,6 +117,7 @@ let eliminate ?stats ~tighten cs =
     else begin
       let v = pick_var cs vars in
       stats.eliminations <- stats.eliminations + 1;
+      note_elim ();
       let uppers, lowers, rest =
         List.fold_left
           (fun (u, l, r) c ->
@@ -129,6 +136,7 @@ let eliminate ?stats ~tighten cs =
               (fun l ->
                 let b = L.coeff v l.L.form in
                 stats.combinations <- stats.combinations + 1;
+                charge 1;
                 (* (-b)*u + a*l has a zero coefficient on v; both multipliers
                    are positive so the inequality direction is preserved. *)
                 norm ~tighten
@@ -141,8 +149,8 @@ let eliminate ?stats ~tighten cs =
   in
   loop cs
 
-let check ?stats ~tighten cs =
-  match eliminate ?stats ~tighten cs with
+let check ?stats ?budget ~tighten cs =
+  match eliminate ?stats ?budget ~tighten cs with
   | _trace -> Sat
   | exception Contradiction -> Unsat
 
@@ -150,8 +158,10 @@ let check ?stats ~tighten cs =
    entry gives the upper and lower bound constraints that mentioned the
    variable at elimination time; with all later variables assigned, those
    bounds are concrete numbers. *)
-let rational_model cs =
-  match eliminate ~tighten:true cs with
+let rational_model ?budget cs =
+  (* Budget.Exhausted deliberately propagates: a caller that could not afford
+     the model reconstruction must report a timeout, not "no counterexample". *)
+  match eliminate ?budget ~tighten:true cs with
   | exception Contradiction -> None
   | trace ->
       let env = ref Ivar.Map.empty in

@@ -21,13 +21,18 @@ type stats = {
 
 val new_stats : unit -> stats
 
-val check : ?stats:stats -> tighten:bool -> Linear.cstr list -> verdict
+val check : ?stats:stats -> ?budget:Budget.t -> tighten:bool -> Linear.cstr list -> verdict
 (** [check ~tighten cs] eliminates all variables from [cs].  Equalities with
     a unit-coefficient variable are removed first by Gaussian substitution;
-    the remaining equalities are split into inequality pairs. *)
+    the remaining equalities are split into inequality pairs.  With
+    [?budget], each upper/lower combination costs one fuel unit and each
+    eliminated variable counts against the budget's elimination limit.
+    @raise Budget.Exhausted when the budget runs out. *)
 
-val rational_model : Linear.cstr list -> Bigint.t Ivar.Map.t option
+val rational_model : ?budget:Budget.t -> Linear.cstr list -> Bigint.t Ivar.Map.t option
 (** Best-effort integer assignment satisfying the system, reconstructed by
     back-substitution through the elimination order; used to produce
-    counterexample hints in error messages.  [None] when the system is unsat
-    or a bound is irrational to invert (never happens after tightening). *)
+    counterexample hints in error messages.  [None] when the system is unsat,
+    a bound is irrational to invert (never happens after tightening), or the
+    given budget ran out before the trace was complete (never raises
+    {!Budget.Exhausted} itself). *)

@@ -57,8 +57,13 @@ let pivot d leave enter =
 
 (* Bland's rule: entering variable is the smallest-index nonbasic variable
    with a positive objective coefficient; leaving variable is the
-   smallest-index basic variable achieving the tightest ratio. *)
-let rec optimise d =
+   smallest-index basic variable achieving the tightest ratio.  Bland's rule
+   terminates, but a pivot touches every row, so each one charges the budget
+   proportionally to the dictionary size. *)
+let rec optimise ?budget d =
+  (match budget with
+  | Some bu when Budget.is_limited bu -> Budget.spend bu (2 + IMap.cardinal d.rows)
+  | _ -> ());
   let enter =
     IMap.fold
       (fun j k acc ->
@@ -87,10 +92,10 @@ let rec optimise d =
       | None -> `Unbounded
       | Some (leave, _) ->
           pivot d leave enter;
-          optimise d)
+          optimise ?budget d)
 
 (* Build the dictionary for phase 1 and solve. *)
-let solve cs =
+let solve ?budget cs =
   (* Collect the structural variables and assign pos/neg indices. *)
   let vars =
     List.fold_left (fun acc c -> Ivar.Set.union acc (L.cstr_vars c)) Ivar.Set.empty cs
@@ -147,7 +152,7 @@ let solve cs =
   | Some (leave, _) -> (
       (* Make the dictionary feasible by pivoting in the artificial x0. *)
       pivot d leave 0;
-      match optimise d with
+      match optimise ?budget d with
       | `Unbounded -> Some d (* -x0 unbounded above cannot happen; treat as feasible *)
       | `Optimal ->
           let x0_value =
@@ -155,7 +160,7 @@ let solve cs =
           in
           if Rat.is_zero x0_value then Some d else None)
 
-let check cs = match solve cs with Some _ -> Sat | None -> Unsat
+let check ?budget cs = match solve ?budget cs with Some _ -> Sat | None -> Unsat
 
 let model cs =
   match solve cs with

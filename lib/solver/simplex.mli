@@ -10,8 +10,10 @@ open Dml_index
 
 type verdict = Unsat | Sat
 
-val check : Linear.cstr list -> verdict
-(** [Unsat] iff the constraint system has no rational solution. *)
+val check : ?budget:Budget.t -> Linear.cstr list -> verdict
+(** [Unsat] iff the constraint system has no rational solution.  With
+    [?budget], every pivot charges fuel proportional to the dictionary size.
+    @raise Budget.Exhausted when the budget runs out. *)
 
 val model : Linear.cstr list -> Rat.t Ivar.Map.t option
 (** A rational solution when one exists. *)

@@ -4,17 +4,26 @@ open Dml_constr
 
 type method_ = Fm_tightened | Fm_plain | Simplex_rational
 
-type verdict = Valid | Not_valid of string | Unsupported of string
+type verdict = Valid | Not_valid of string | Unsupported of string | Timeout of string
 
 type stats = {
   mutable checked_goals : int;
   mutable disjuncts : int;
   mutable fm : Fourier.stats;
   mutable solve_time : float;
+  mutable timeouts : int;
+  mutable escalations : int;
 }
 
 let new_stats () =
-  { checked_goals = 0; disjuncts = 0; fm = Fourier.new_stats (); solve_time = 0. }
+  {
+    checked_goals = 0;
+    disjuncts = 0;
+    fm = Fourier.new_stats ();
+    solve_time = 0.;
+    timeouts = 0;
+    escalations = 0;
+  }
 
 let negation_formula (g : Constr.goal) =
   Idx.band (Idx.conj g.goal_hyps) (Idx.bnot g.goal_concl)
@@ -45,29 +54,29 @@ let system_of_disjunct literals =
   | cs -> Some cs
   | exception Bool_contradiction -> None
 
-let disjunct_systems formula =
+let disjunct_systems ?budget formula =
   match
     let purified = Purify.purify formula in
-    let disjuncts = Dnf.dnf purified in
+    let disjuncts = Dnf.dnf ?budget purified in
     List.filter_map system_of_disjunct disjuncts
   with
   | systems -> Ok systems
   | exception Purify.Nonlinear msg -> Error ("non-linear constraint: " ^ msg)
   | exception Dnf.Too_large -> Error "constraint normal form too large"
 
-let refute ?stats method_ system =
+let refute ?stats ?budget method_ system =
   let fm_stats = Option.map (fun s -> s.fm) stats in
   match method_ with
   | Fm_tightened -> (
-      match Fourier.check ?stats:fm_stats ~tighten:true system with
+      match Fourier.check ?stats:fm_stats ?budget ~tighten:true system with
       | Fourier.Unsat -> `Refuted
       | Fourier.Sat -> `Open)
   | Fm_plain -> (
-      match Fourier.check ?stats:fm_stats ~tighten:false system with
+      match Fourier.check ?stats:fm_stats ?budget ~tighten:false system with
       | Fourier.Unsat -> `Refuted
       | Fourier.Sat -> `Open)
   | Simplex_rational -> (
-      match Simplex.check system with Simplex.Unsat -> `Refuted | Simplex.Sat -> `Open)
+      match Simplex.check ?budget system with Simplex.Unsat -> `Refuted | Simplex.Sat -> `Open)
 
 let model_to_string model =
   let parts =
@@ -77,41 +86,92 @@ let model_to_string model =
   in
   String.concat ", " (List.rev parts)
 
-let check_goal ?(method_ = Fm_tightened) ?stats goal =
-  let t0 = Sys.time () in
+let check_goal ?(method_ = Fm_tightened) ?stats ?budget goal =
+  let t0 = Budget.now () in
   Option.iter (fun s -> s.checked_goals <- s.checked_goals + 1) stats;
   let result =
-    match disjunct_systems (negation_formula goal) with
-    | Error msg -> Unsupported msg
-    | Ok systems ->
-        Option.iter (fun s -> s.disjuncts <- s.disjuncts + List.length systems) stats;
-        let rec go = function
-          | [] -> Valid
-          | system :: rest -> (
-              match refute ?stats method_ system with
-              | `Refuted -> go rest
-              | `Open ->
-                  let hint =
-                    match Fourier.rational_model system with
-                    | Some model -> "counterexample: " ^ model_to_string model
-                    | None -> "could not refute a disjunct of the negation"
-                  in
-                  Not_valid hint)
-        in
-        go systems
+    (* Isolation barrier: a single obligation must not be able to kill the
+       whole pipeline.  Budget exhaustion becomes [Timeout]; resource
+       exhaustion of the runtime itself and any unexpected solver exception
+       become [Unsupported] with a diagnostic, exactly as a failure to decide
+       (both are conservative: the caller keeps the dynamic check). *)
+    match
+      match disjunct_systems ?budget (negation_formula goal) with
+      | Error msg -> Unsupported msg
+      | Ok systems ->
+          Option.iter (fun s -> s.disjuncts <- s.disjuncts + List.length systems) stats;
+          let rec go = function
+            | [] -> Valid
+            | system :: rest -> (
+                match refute ?stats ?budget method_ system with
+                | `Refuted -> go rest
+                | `Open ->
+                    let hint =
+                      match Fourier.rational_model ?budget system with
+                      | Some model -> "counterexample: " ^ model_to_string model
+                      | None -> "could not refute a disjunct of the negation"
+                    in
+                    Not_valid hint)
+          in
+          go systems
+    with
+    | verdict -> verdict
+    | exception Budget.Exhausted msg ->
+        Option.iter (fun s -> s.timeouts <- s.timeouts + 1) stats;
+        Timeout msg
+    | exception Stack_overflow -> Unsupported "solver stack overflow"
+    | exception Out_of_memory -> Unsupported "solver out of memory"
+    | exception e -> Unsupported ("internal solver error: " ^ Printexc.to_string e)
   in
-  Option.iter (fun s -> s.solve_time <- s.solve_time +. (Sys.time () -. t0)) stats;
+  Option.iter (fun s -> s.solve_time <- s.solve_time +. (Budget.now () -. t0)) stats;
   result
 
-let check_constraint ?method_ ?stats phi =
-  let phi = Constr.eliminate_existentials phi in
-  match Constr.goals phi with
+let default_ladder = [ Fm_plain; Fm_tightened; Simplex_rational ]
+
+(* Prefer the verdict carrying the most information when nothing proves the
+   goal: a concrete refutation beats a timeout beats "unsupported". *)
+let verdict_rank = function
+  | Valid -> 3
+  | Not_valid _ -> 2
+  | Timeout _ -> 1
+  | Unsupported _ -> 0
+
+let check_goal_escalating ?(ladder = default_ladder) ?stats ?budget goal =
+  let rec go best = function
+    | [] -> best
+    | method_ :: rest -> (
+        match check_goal ~method_ ?stats ?budget goal with
+        | Valid -> Valid
+        | v ->
+            if rest <> [] then
+              Option.iter (fun s -> s.escalations <- s.escalations + 1) stats;
+            go (if verdict_rank v > verdict_rank best then v else best) rest)
+  in
+  go (Unsupported "empty escalation ladder") ladder
+
+let check_constraint ?method_ ?(escalate = false) ?stats ?budget phi =
+  match
+    let phi = Constr.eliminate_existentials phi in
+    Constr.goals phi
+  with
   | Error msg -> Unsupported msg
+  | exception Stack_overflow -> Unsupported "solver stack overflow"
+  | exception Out_of_memory -> Unsupported "solver out of memory"
+  | exception e -> Unsupported ("internal solver error: " ^ Printexc.to_string e)
   | Ok goals ->
+      let check g =
+        if escalate then
+          let ladder =
+            match method_ with
+            | None -> default_ladder
+            | Some m -> m :: List.filter (fun m' -> m' <> m) default_ladder
+          in
+          check_goal_escalating ~ladder ?stats ?budget g
+        else check_goal ?method_ ?stats ?budget g
+      in
       let rec go = function
         | [] -> Valid
-        | g :: rest -> (
-            match check_goal ?method_ ?stats g with Valid -> go rest | other -> other)
+        | g :: rest -> ( match check g with Valid -> go rest | other -> other)
       in
       go goals
 
@@ -119,3 +179,4 @@ let pp_verdict fmt = function
   | Valid -> Format.pp_print_string fmt "valid"
   | Not_valid hint -> Format.fprintf fmt "NOT valid (%s)" hint
   | Unsupported msg -> Format.fprintf fmt "unsupported (%s)" msg
+  | Timeout msg -> Format.fprintf fmt "timeout (%s)" msg

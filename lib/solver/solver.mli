@@ -2,7 +2,16 @@
 
     A goal [vars; hyps |- concl] is valid iff [hyps /\ ~concl] is
     unsatisfiable.  The formula is purified ({!Purify}), normalised to DNF
-    ({!Dnf}) and every disjunct is refuted with the selected method. *)
+    ({!Dnf}) and every disjunct is refuted with the selected method.
+
+    The solver is a *budgeted, fault-isolated oracle*: every call accepts an
+    optional {!Budget.t} charged by the DNF expansion, the Fourier
+    combination loop, and simplex pivoting; exhaustion surfaces as a
+    {!constructor:Timeout} verdict instead of a hang, and runtime resource
+    exhaustion ([Stack_overflow], [Out_of_memory]) or an unexpected solver
+    exception surfaces as {!constructor:Unsupported} instead of killing the
+    caller.  Both are conservative answers: the program site keeps its
+    dynamic check. *)
 
 open Dml_numeric
 open Dml_index
@@ -18,30 +27,62 @@ type verdict =
   | Not_valid of string
       (** refutation failed; the payload is a human-readable hint, including a
           verified counterexample assignment when one was reconstructed *)
-  | Unsupported of string  (** non-linear constraint or DNF blow-up *)
+  | Unsupported of string
+      (** non-linear constraint, DNF blow-up, or an isolated solver fault
+          (stack overflow, out of memory, unexpected exception) *)
+  | Timeout of string
+      (** the budget ran out (fuel, wall-clock deadline, or elimination
+          limit) before the goal was decided *)
 
 type stats = {
   mutable checked_goals : int;
   mutable disjuncts : int;
   mutable fm : Fourier.stats;
-  mutable solve_time : float;  (** CPU seconds spent refuting *)
+  mutable solve_time : float;  (** wall-clock seconds spent refuting (monotonic) *)
+  mutable timeouts : int;  (** goals abandoned on budget exhaustion *)
+  mutable escalations : int;  (** ladder steps taken past the first method *)
 }
 
 val new_stats : unit -> stats
 
-val check_goal : ?method_:method_ -> ?stats:stats -> Constr.goal -> verdict
+val check_goal :
+  ?method_:method_ -> ?stats:stats -> ?budget:Budget.t -> Constr.goal -> verdict
+(** Decide one goal with a single method.  Never raises: budget exhaustion
+    and solver faults are converted to verdicts (see the module preamble). *)
 
-val check_constraint : ?method_:method_ -> ?stats:stats -> Constr.t -> verdict
+val default_ladder : method_ list
+(** The escalation order [Fm_plain; Fm_tightened; Simplex_rational]: try the
+    cheap plain elimination first, then the paper's tightened rule, then the
+    rational simplex whose polynomial pivoting survives systems on which the
+    elimination blows up. *)
+
+val check_goal_escalating :
+  ?ladder:method_ list -> ?stats:stats -> ?budget:Budget.t -> Constr.goal -> verdict
+(** Retry the goal along the ladder until some method proves it, all fail,
+    or the (shared) budget runs dry; later attempts run under the remaining
+    budget.  When nothing proves the goal the most informative verdict wins
+    ([Not_valid] over [Timeout] over [Unsupported]). *)
+
+val check_constraint :
+  ?method_:method_ ->
+  ?escalate:bool ->
+  ?stats:stats ->
+  ?budget:Budget.t ->
+  Constr.t ->
+  verdict
 (** Eliminates existentials, extracts goals, and checks them all; the first
-    failing goal decides the verdict. *)
+    failing goal decides the verdict.  With [~escalate:true] each goal runs
+    the escalation ladder (starting from [?method_] when given). *)
 
 val negation_formula : Constr.goal -> Idx.bexp
 (** [hyps /\ ~concl], exposed for tests and the [constraints] CLI command. *)
 
-val disjunct_systems : Idx.bexp -> (Linear.cstr list list, string) result
+val disjunct_systems :
+  ?budget:Budget.t -> Idx.bexp -> (Linear.cstr list list, string) result
 (** Purify + DNF + literal translation, exposed for tests.  Each inner list
     is one disjunct's linear system (boolean-contradictory disjuncts are
-    dropped). *)
+    dropped).
+    @raise Budget.Exhausted when the DNF expansion outruns the budget. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 

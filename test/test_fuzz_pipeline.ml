@@ -68,9 +68,38 @@ let prop_safe_templates_run =
              | _ -> false
              | exception Dml_eval.Prims.Subscript -> false)))
 
+(* Robustness: the pipeline is a total function from source text to a
+   report or a staged failure — arbitrary token soup (including unbalanced
+   delimiters, stray annotations, and truncated declarations) must never
+   raise out of [Pipeline.check]. *)
+let token_fragments =
+  [|
+    "fun "; "val "; "let "; "in "; "end "; "if "; "then "; "else "; "case ";
+    "of "; "fn "; "where "; "handle "; "raise "; "datatype "; "typeref ";
+    "assert "; "exception "; "sub"; "update"; "array"; "length "; "nth ";
+    "("; ")"; "{"; "}"; "["; "]"; "[|"; "|]"; "|"; "<|"; "=>"; "->"; "=";
+    "<"; "<="; "+"; "-"; "*"; "/"; ","; ";"; ":"; "."; "~"; "_"; "'"; "\"";
+    "x"; "y "; "it "; "a1 "; "0 "; "1 "; "42 "; "999999999999 "; "nat";
+    "int"; "bool "; "true "; "false "; "\n"; "  "; ";;"; "#"; "$"; "@";
+  |]
+
+let gen_token_soup =
+  QCheck.make
+    ~print:String.escaped
+    QCheck.Gen.(
+      map (String.concat "")
+        (list_size (int_range 0 40) (oneofa token_fragments)))
+
+let prop_check_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:400 ~name:"Pipeline.check never raises" gen_token_soup
+       (fun src ->
+         match Pipeline.check src with Ok _ -> true | Error _ -> true))
+
 let () =
   Alcotest.run "fuzz_pipeline"
     [
       ( "templates",
         [ prop_safety_decides_verdict; prop_safe_templates_run ] );
+      ("robustness", [ prop_check_total ]);
     ]
