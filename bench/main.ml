@@ -12,6 +12,9 @@
                                simplex on the Figure 4 goal set.
    - ablation/tighten/*      : the bcopy divisibility obligations with and
                                without the integral tightening rule.
+   - ablation/cache/*        : the checking pipeline over the kernel corpus
+                               with no cache, a cold cache, and a warm shared
+                               cache (verdict lookups instead of solving).
 
    Absolute per-table rows come from `dmlc table1` / `dmlc table23`; this
    harness measures the machinery itself and the design alternatives. *)
@@ -34,45 +37,47 @@ let pipeline_tests =
 
 (* --- Tables 2/3 kernels ----------------------------------------------------- *)
 
-let checked_programs =
-  List.filter_map
-    (fun (b : Dml_programs.Programs.benchmark) ->
-      match Dml_core.Pipeline.check_valid b.Dml_programs.Programs.source with
-      | Ok r -> Some (b, r.Dml_core.Pipeline.rp_tprog)
-      | Error _ -> None)
-    Dml_programs.Programs.table_benchmarks
-
 (* the lighter workloads keep Bechamel iterations short; full-size rows come
    from the dmlc harness *)
 let bench_kernel_names = [ "queen"; "hanoi towers"; "list access" ]
 
+(* only the kernels above are exercised below, so restrict the (expensive)
+   up-front pipeline runs to them instead of checking every table benchmark *)
+let checked_programs =
+  List.filter_map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      if not (List.mem b.Dml_programs.Programs.name bench_kernel_names) then None
+      else
+        match Dml_core.Pipeline.check_valid b.Dml_programs.Programs.source with
+        | Ok r -> Some (b, r.Dml_core.Pipeline.rp_tprog)
+        | Error _ -> None)
+    Dml_programs.Programs.table_benchmarks
+
 let backend_tests =
   List.concat_map
     (fun ((b : Dml_programs.Programs.benchmark), tprog) ->
-      if not (List.mem b.Dml_programs.Programs.name bench_kernel_names) then []
-      else
-        List.concat_map
-          (fun (mode, mode_name) ->
-            [
-              Test.make
-                ~name:(Printf.sprintf "table2/%s/%s" b.Dml_programs.Programs.name mode_name)
-                (Staged.stage (fun () ->
-                     let counters = Dml_eval.Prims.new_counters () in
-                     let env = Dml_eval.Cycles.initial_env mode counters in
-                     let env = Dml_eval.Cycles.run_program env tprog in
-                     b.Dml_programs.Programs.run
-                       { Dml_programs.Workloads.lookup = Dml_eval.Cycles.lookup env }
-                       ~scale:1));
-              Test.make
-                ~name:(Printf.sprintf "table3/%s/%s" b.Dml_programs.Programs.name mode_name)
-                (Staged.stage (fun () ->
-                     let ce = Dml_eval.Compile.initial_fast mode () in
-                     let ce = Dml_eval.Compile.run_program ce tprog in
-                     b.Dml_programs.Programs.run
-                       { Dml_programs.Workloads.lookup = Dml_eval.Compile.lookup ce }
-                       ~scale:1));
-            ])
-          [ (Dml_eval.Prims.Checked, "checked"); (Dml_eval.Prims.Unchecked, "unchecked") ])
+      List.concat_map
+        (fun (mode, mode_name) ->
+          [
+            Test.make
+              ~name:(Printf.sprintf "table2/%s/%s" b.Dml_programs.Programs.name mode_name)
+              (Staged.stage (fun () ->
+                   let counters = Dml_eval.Prims.new_counters () in
+                   let env = Dml_eval.Cycles.initial_env mode counters in
+                   let env = Dml_eval.Cycles.run_program env tprog in
+                   b.Dml_programs.Programs.run
+                     { Dml_programs.Workloads.lookup = Dml_eval.Cycles.lookup env }
+                     ~scale:1));
+            Test.make
+              ~name:(Printf.sprintf "table3/%s/%s" b.Dml_programs.Programs.name mode_name)
+              (Staged.stage (fun () ->
+                   let ce = Dml_eval.Compile.initial_fast mode () in
+                   let ce = Dml_eval.Compile.run_program ce tprog in
+                   b.Dml_programs.Programs.run
+                     { Dml_programs.Workloads.lookup = Dml_eval.Compile.lookup ce }
+                     ~scale:1));
+          ])
+        [ (Dml_eval.Prims.Checked, "checked"); (Dml_eval.Prims.Unchecked, "unchecked") ])
     checked_programs
 
 (* --- Ablation A: solver comparison on the Figure 4 goals --------------------- *)
@@ -135,6 +140,38 @@ let tighten_tests =
              | Error _ -> assert false)))
     [ (Dml_solver.Solver.Fm_tightened, "with"); (Dml_solver.Solver.Fm_plain, "without") ]
 
+(* --- Ablation C: verdict-cache amortization over the table corpus --------------- *)
+
+(* cold re-creates the cache each run (canonicalization + store overhead on
+   top of full solving); warm shares one pre-filled cache, so every goal is
+   answered by lookup — the gap is the amortized solving cost the batch
+   front-end recovers *)
+let cache_corpus =
+  List.filter
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      List.mem b.Dml_programs.Programs.name bench_kernel_names)
+    Dml_programs.Programs.table_benchmarks
+
+let check_corpus cache =
+  List.iter
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      match Dml_core.Pipeline.check ?cache b.Dml_programs.Programs.source with
+      | Ok r -> assert r.Dml_core.Pipeline.rp_valid
+      | Error _ -> assert false)
+    cache_corpus
+
+let cache_tests =
+  let warm = Dml_cache.Cache.create () in
+  check_corpus (Some warm);
+  [
+    Test.make ~name:"ablation/cache/off"
+      (Staged.stage (fun () -> check_corpus None));
+    Test.make ~name:"ablation/cache/cold"
+      (Staged.stage (fun () -> check_corpus (Some (Dml_cache.Cache.create ()))));
+    Test.make ~name:"ablation/cache/warm"
+      (Staged.stage (fun () -> check_corpus (Some warm)));
+  ]
+
 (* --- stdlib kernels: the verified merge/insertion sorts -------------------------- *)
 
 let stdlib_tests =
@@ -156,7 +193,10 @@ let stdlib_tests =
 (* --- driver --------------------------------------------------------------------- *)
 
 let () =
-  let tests = pipeline_tests @ solver_tests @ tighten_tests @ backend_tests @ stdlib_tests in
+  let tests =
+    pipeline_tests @ solver_tests @ tighten_tests @ cache_tests @ backend_tests
+    @ stdlib_tests
+  in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
   let raw =
     Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"dml" tests)

@@ -1,6 +1,7 @@
 (* dmlc: the command-line driver.
 
    - [dmlc check FILE]       type check a program (phases 1 and 2 + solving)
+   - [dmlc batch FILE...]    check many programs against one shared verdict cache
    - [dmlc constraints FILE] print every generated constraint with its verdict
    - [dmlc run FILE NAME]    evaluate a program and print a binding
    - [dmlc table1]           regenerate the paper's Table 1
@@ -59,6 +60,54 @@ let solve_config =
   in
   Term.(const build $ solver_method $ escalate $ fuel $ timeout_ms $ max_elim)
 
+(* Verdict-cache configuration.  [--cache-dir] implies caching; a bare
+   [--cache] keeps the memo table in-process only. *)
+let cache_term ~default_on =
+  let cache =
+    let doc = "Memoize solver verdicts: goals are canonicalized (alpha-renaming, \
+               conjunct order and linear-atom presentation are quotiented away) and \
+               repeated goals reuse their verdict instead of re-running the solver." in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let no_cache =
+    let doc = "Disable the verdict cache (batch enables it by default)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let cache_dir =
+    let doc = "Persist cached verdicts under $(docv) so they survive across dmlc \
+               invocations (implies --cache).  Corrupt or truncated entries are \
+               detected and treated as misses." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let cache_entries =
+    let doc = "Capacity of the in-memory verdict table; least-recently-used entries \
+               are evicted past $(docv) (0 = unbounded)." in
+    Arg.(value & opt int Dml_cache.Cache.default_config.Dml_cache.Cache.max_entries
+         & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let build enabled disabled dir entries =
+    let wanted = (not disabled) && (enabled || dir <> None || default_on) in
+    if not wanted then None
+    else Some (Dml_cache.Cache.create ~config:{ Dml_cache.Cache.max_entries = entries; dir } ())
+  in
+  Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries)
+
+let stats_flag =
+  let doc = "Print solver and cache counters (goals solved, hits, misses, evictions, \
+             solve vs. lookup time) after the report." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let print_stats (report : Pipeline.report) =
+  let s = report.Pipeline.rp_solver_stats in
+  Format.printf
+    "solver: goals=%d disjuncts=%d escalations=%d timeouts=%d solve=%.4fs gen=%.4fs@."
+    s.Dml_solver.Solver.checked_goals s.Dml_solver.Solver.disjuncts
+    s.Dml_solver.Solver.escalations s.Dml_solver.Solver.timeouts
+    report.Pipeline.rp_solve_time report.Pipeline.rp_gen_time;
+  match report.Pipeline.rp_cache_stats with
+  | None -> ()
+  | Some cs -> Format.printf "cache: %a@." Dml_cache.Cache.pp_snapshot cs
+
 let degrade_flag =
   let strict =
     ( false,
@@ -85,14 +134,15 @@ let exit_err msg =
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run config degrade file =
+  let run config cache stats degrade file =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config src with
+        match Pipeline.check ~config ?cache src with
         | Error f -> exit_err (Diagnose.render_failure ~src f)
         | Ok report ->
             Format.printf "%a@." Pipeline.pp_report report;
+            if stats then print_stats report;
             List.iter
               (fun (msg, loc) ->
                 Format.printf "warning at %a: %s@." Dml_lang.Loc.pp loc msg)
@@ -104,16 +154,112 @@ let check_cmd =
             end)
   in
   let doc = "Type check a program with dependent types and solve its constraints." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ solve_config $ degrade_flag $ file_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ solve_config $ cache_term ~default_on:false $ stats_flag $ degrade_flag
+      $ file_arg)
+
+(* --- batch ------------------------------------------------------------------ *)
+
+(* Check many programs against one shared verdict cache: the basis (and any
+   goals shared between programs) is solved once, every later occurrence is
+   a cache hit.  Per-program rows and per-pass aggregates expose the
+   amortization; [--repeat 2] shows the fully warm behaviour. *)
+let batch_cmd =
+  let run config cache all repeat files =
+    let named =
+      if all then List.map (fun b -> b.Dml_programs.Programs.name) Dml_programs.Programs.all
+      else []
+    in
+    let targets = named @ files in
+    if targets = [] then exit_err "batch: no programs given (pass FILE... or --all)";
+    if repeat < 1 then exit_err "batch: --repeat must be at least 1";
+    let failures = ref 0 in
+    for pass = 1 to repeat do
+      if repeat > 1 then Format.printf "--- pass %d/%d ---@." pass repeat;
+      Format.printf "%-16s %-10s %5s %6s %6s %6s %9s %9s@." "program" "status" "cons" "goals"
+        "hits" "miss" "solve(s)" "gen(s)";
+      let agg_goals = ref 0 and agg_hits = ref 0 and agg_misses = ref 0 in
+      let agg_solves = ref 0 and agg_fail = ref 0 in
+      let agg_solve = ref 0. and agg_lookup = ref 0. in
+      List.iter
+        (fun target ->
+          match read_source target with
+          | Error msg ->
+              incr agg_fail;
+              Format.printf "%-16s %-10s %s@." target "error" msg
+          | Ok src -> (
+              match Pipeline.check ~config ?cache src with
+              | Error f ->
+                  incr agg_fail;
+                  Format.printf "%-16s %-10s %s@." target "failed"
+                    (Pipeline.stage_name f.Pipeline.f_stage)
+              | Ok r ->
+                  let s = r.Pipeline.rp_solver_stats in
+                  let goals = s.Dml_solver.Solver.checked_goals in
+                  let hits = s.Dml_solver.Solver.cache_hits in
+                  let status =
+                    if r.Pipeline.rp_valid then "valid"
+                    else Printf.sprintf "resid:%d" r.Pipeline.rp_residual
+                  in
+                  agg_goals := !agg_goals + goals;
+                  agg_hits := !agg_hits + hits;
+                  agg_misses := !agg_misses + s.Dml_solver.Solver.cache_misses;
+                  (* without a cache every goal is a solver call *)
+                  agg_solves :=
+                    !agg_solves
+                    + (if cache = None then goals else s.Dml_solver.Solver.cache_misses);
+                  agg_solve := !agg_solve +. r.Pipeline.rp_solve_time;
+                  (match r.Pipeline.rp_cache_stats with
+                  | Some cs -> agg_lookup := !agg_lookup +. cs.Dml_cache.Cache.s_lookup_time
+                  | None -> ());
+                  Format.printf "%-16s %-10s %5d %6d %6d %6d %9.4f %9.4f@." target status
+                    r.Pipeline.rp_constraints goals hits s.Dml_solver.Solver.cache_misses
+                    r.Pipeline.rp_solve_time r.Pipeline.rp_gen_time))
+        targets;
+      failures := !failures + !agg_fail;
+      Format.printf
+        "pass %d: %d program(s), %d failed; goals=%d solver-calls=%d cache-hits=%d (%.1f%% \
+         hit rate); solve=%.4fs lookup=%.4fs@."
+        pass (List.length targets) !agg_fail !agg_goals !agg_solves !agg_hits
+        (if !agg_goals = 0 then 0. else 100. *. float_of_int !agg_hits /. float_of_int !agg_goals)
+        !agg_solve !agg_lookup
+    done;
+    (match cache with
+    | Some c ->
+        Format.printf "cache: %a@." Dml_cache.Cache.pp_snapshot (Dml_cache.Cache.snapshot c)
+    | None -> ());
+    if !failures > 0 then exit 1
+  in
+  let files =
+    let doc = "Program files or bundled benchmark names (see $(b,dmlc list))." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Also check every bundled benchmark program.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Run the whole batch $(docv) times against the same cache; later passes \
+                show the fully warm amortization.")
+  in
+  let doc =
+    "Check many programs against one shared solver-verdict cache and report per-program \
+     and aggregate amortization (caching is on by default here; --no-cache disables it)."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const run $ solve_config $ cache_term ~default_on:true $ all $ repeat $ files)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
 let constraints_cmd =
-  let run config file =
+  let run config cache file =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config src with
+        match Pipeline.check ~config ?cache src with
         | Error f -> exit_err (Pipeline.failure_to_string f)
         | Ok report ->
             List.iter
@@ -126,16 +272,17 @@ let constraints_cmd =
               report.Pipeline.rp_obligations)
   in
   let doc = "Print every constraint generated during elaboration, with its verdict." in
-  Cmd.v (Cmd.info "constraints" ~doc) Term.(const run $ solve_config $ file_arg)
+  Cmd.v (Cmd.info "constraints" ~doc)
+    Term.(const run $ solve_config $ cache_term ~default_on:false $ file_arg)
 
 (* --- run -------------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run config degrade file binding unchecked backend =
+  let run config cache degrade file binding unchecked backend =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config src with
+        match Pipeline.check ~config ?cache src with
         | Error f -> exit_err (Diagnose.render_failure ~src f)
         | Ok report when (not report.Pipeline.rp_valid) && not degrade ->
             exit_err (Diagnose.render_report ~src report)
@@ -183,7 +330,9 @@ let run_cmd =
   in
   let doc = "Type check, evaluate, and print a top-level binding." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ solve_config $ degrade_flag $ file_arg $ binding $ unchecked $ backend)
+    Term.(
+      const run $ solve_config $ cache_term ~default_on:false $ degrade_flag $ file_arg
+      $ binding $ unchecked $ backend)
 
 (* --- tables ------------------------------------------------------------------------- *)
 
@@ -242,4 +391,4 @@ let list_cmd =
 let () =
   let doc = "dependent ML: array bound check elimination through dependent types" in
   let info = Cmd.info "dmlc" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ check_cmd; constraints_cmd; run_cmd; pretty_cmd; table1_cmd; table23_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ check_cmd; batch_cmd; constraints_cmd; run_cmd; pretty_cmd; table1_cmd; table23_cmd; list_cmd ]))

@@ -89,24 +89,41 @@ let print_binding mlenv lookup name =
           Format.printf "val %s : %a = %a@." name Mltype.pp_scheme scheme Dml_eval.Value.pp v
       | None, _ -> Format.printf "val %s : %a@." name Mltype.pp_scheme scheme)
 
-(* command-line options: budgets and the strict/degrade switch *)
+(* command-line options: budgets, the strict/degrade switch, and the
+   verdict cache (a REPL re-checks the whole session on every entry, so a
+   warm cache pays off immediately: earlier entries' goals are hits) *)
 type options = {
   mutable degrade : bool;
   mutable fuel : int option;
   mutable timeout_ms : int option;
   mutable escalate : bool;
+  mutable cache : bool;
+  mutable cache_dir : string option;
 }
 
 let usage =
   "usage: dmli [--degrade] [--fuel N] [--timeout-ms MS] [--escalate]\n\
+  \            [--cache] [--cache-dir DIR]\n\
   \  --degrade     accept entries with unproven obligations; their sites keep\n\
   \                dynamic checks (a failing check raises Subscript)\n\
   \  --fuel N      solver fuel per obligation\n\
   \  --timeout-ms MS  wall-clock solver deadline per obligation\n\
-  \  --escalate    retry unproven goals with stronger solver methods\n"
+  \  --escalate    retry unproven goals with stronger solver methods\n\
+  \  --cache       memoize solver verdicts across entries (the session is\n\
+  \                re-checked on every entry; earlier goals become hits)\n\
+  \  --cache-dir DIR  persist cached verdicts under DIR (implies --cache)\n"
 
 let parse_options () =
-  let o = { degrade = false; fuel = None; timeout_ms = None; escalate = false } in
+  let o =
+    {
+      degrade = false;
+      fuel = None;
+      timeout_ms = None;
+      escalate = false;
+      cache = false;
+      cache_dir = None;
+    }
+  in
   let rec go = function
     | [] -> o
     | "--degrade" :: rest ->
@@ -114,6 +131,13 @@ let parse_options () =
         go rest
     | "--escalate" :: rest ->
         o.escalate <- true;
+        go rest
+    | "--cache" :: rest ->
+        o.cache <- true;
+        go rest
+    | "--cache-dir" :: dir :: rest ->
+        o.cache <- true;
+        o.cache_dir <- Some dir;
         go rest
     | "--fuel" :: n :: rest when int_of_string_opt n <> None ->
         o.fuel <- int_of_string_opt n;
@@ -137,6 +161,14 @@ let () =
       sc_timeout_ms = opts.timeout_ms;
     }
   in
+  let cache =
+    if opts.cache then
+      Some
+        (Dml_cache.Cache.create
+           ~config:{ Dml_cache.Cache.default_config with Dml_cache.Cache.dir = opts.cache_dir }
+           ())
+    else None
+  in
   Format.printf "dml interactive - PLDI'98 dependent types; end entries with ;;@.";
   Format.printf "(#quit to exit, #show to list the session so far%s)@."
     (if opts.degrade then "; degraded mode: unproven sites stay checked" else "");
@@ -151,7 +183,7 @@ let () =
     | Some entry ->
         let fragment = if is_decl entry then entry else Printf.sprintf "val it = %s" entry in
         let candidate = !session ^ "\n" ^ fragment ^ "\n" in
-        (match Pipeline.check ~config candidate with
+        (match Pipeline.check ~config ?cache candidate with
         | Error f -> print_string (Diagnose.render_failure ~src:candidate f)
         | Ok report when (not report.Pipeline.rp_valid) && not opts.degrade ->
             print_string (Diagnose.render_report ~src:candidate report)

@@ -1,0 +1,308 @@
+open Dml_numeric
+open Dml_index
+open Dml_constr
+
+(* ------------------------------------------------------------------ *)
+(* Variable numbering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* De Bruijn-style numbering: variables are numbered by their position in
+   the binder list, restricted to the variables that actually occur in the
+   sequent, with stray free variables (a degenerate case the sequent form
+   should not produce) appended in a deterministic order.  Renaming a
+   binder changes neither positions nor the canonical form; reordering
+   hypotheses never touches the binder list, so the numbering commutes
+   with the conjunct sorting done below. *)
+
+type numbering = { index : (int, int) Hashtbl.t; sorts : string }
+
+let base_sort_char g =
+  match Idx.base_sort g with Idx.Sint -> 'i' | Idx.Sbool -> 'b' | Idx.Ssubset _ -> '?'
+
+let number_goal (g : Constr.goal) =
+  let occurring =
+    List.fold_left
+      (fun acc h -> Ivar.Set.union acc (Idx.fv_bexp h))
+      (Idx.fv_bexp g.Constr.goal_concl) g.Constr.goal_hyps
+  in
+  let index = Hashtbl.create 16 in
+  let sorts = Buffer.create 16 in
+  let add v c =
+    if not (Hashtbl.mem index v.Ivar.id) then begin
+      Hashtbl.add index v.Ivar.id (Hashtbl.length index);
+      if Buffer.length sorts > 0 then Buffer.add_char sorts ',';
+      Buffer.add_char sorts c
+    end
+  in
+  List.iter
+    (fun (v, srt) -> if Ivar.Set.mem v occurring then add v (base_sort_char srt))
+    g.Constr.goal_vars;
+  let unbound =
+    Ivar.Set.filter (fun v -> not (Hashtbl.mem index v.Ivar.id)) occurring
+  in
+  List.iter
+    (fun v -> add v '?')
+    (List.sort
+       (fun a b ->
+         match compare (Ivar.name a) (Ivar.name b) with
+         | 0 -> compare a.Ivar.id b.Ivar.id
+         | c -> c)
+       (Ivar.Set.elements unbound));
+  { index; sorts = Buffer.contents sorts }
+
+let var_index nb v = Hashtbl.find nb.index v.Ivar.id
+
+(* ------------------------------------------------------------------ *)
+(* Affine translation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A linear form [const + sum coeff_i * var_i] over bignums, keyed by the
+   canonical variable index.  Mirrors [Dml_solver.Linear] (which lives
+   above this library in the dependency order) but over numbered
+   variables, which is exactly what the canonical rendering needs. *)
+
+module IMap = Map.Make (Int)
+
+type form = { const : Bigint.t; coeffs : Bigint.t IMap.t }
+
+exception Not_affine
+
+let form_const c = { const = c; coeffs = IMap.empty }
+
+let form_add a b =
+  {
+    const = Bigint.add a.const b.const;
+    coeffs =
+      IMap.union
+        (fun _ x y ->
+          let s = Bigint.add x y in
+          if Bigint.is_zero s then None else Some s)
+        a.coeffs b.coeffs;
+  }
+
+let form_scale k f =
+  if Bigint.is_zero k then form_const Bigint.zero
+  else
+    { const = Bigint.mul k f.const; coeffs = IMap.map (fun c -> Bigint.mul k c) f.coeffs }
+
+let form_neg f = form_scale Bigint.minus_one f
+let form_sub a b = form_add a (form_neg b)
+
+let rec affine nb (e : Idx.iexp) =
+  match e with
+  | Idx.Ivar v ->
+      { const = Bigint.zero; coeffs = IMap.singleton (var_index nb v) Bigint.one }
+  | Idx.Iconst n -> form_const (Bigint.of_int n)
+  | Idx.Iadd (a, b) -> form_add (affine nb a) (affine nb b)
+  | Idx.Isub (a, b) -> form_sub (affine nb a) (affine nb b)
+  | Idx.Ineg a -> form_neg (affine nb a)
+  | Idx.Imul (a, b) -> (
+      let fa = affine nb a and fb = affine nb b in
+      match (IMap.is_empty fa.coeffs, IMap.is_empty fb.coeffs) with
+      | true, _ -> form_scale fa.const fb
+      | _, true -> form_scale fb.const fa
+      | false, false -> raise Not_affine)
+  | Idx.Idiv _ | Idx.Imod _ | Idx.Imin _ | Idx.Imax _ | Idx.Iabs _ | Idx.Isgn _ ->
+      raise Not_affine
+
+(* ------------------------------------------------------------------ *)
+(* Atom normalization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let coeff_gcd f =
+  IMap.fold (fun _ k acc -> Bigint.gcd (Bigint.abs k) acc) f.coeffs Bigint.zero
+
+let render_form buf f =
+  IMap.iter
+    (fun v k ->
+      Buffer.add_string buf (Bigint.to_string k);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf '+')
+    f.coeffs
+
+(* [form <= 0], tightened: dividing [sum k_i x_i <= -c] through by the
+   positive gcd g of the k_i and flooring the bound is an *equivalence*
+   over the integers (the left-hand side is an integer), so goals that
+   differ by a common factor or by the strict/non-strict presentation of
+   the same half-space share one canonical atom. *)
+let atom_le f =
+  if IMap.is_empty f.coeffs then if Bigint.le f.const Bigint.zero then "T" else "F"
+  else begin
+    let g = coeff_gcd f in
+    let coeffs = IMap.map (fun k -> fst (Bigint.divmod k g)) f.coeffs in
+    let bound = Bigint.fdiv (Bigint.neg f.const) g in
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf "L:";
+    render_form buf { const = Bigint.zero; coeffs };
+    Buffer.add_string buf "<=";
+    Buffer.add_string buf (Bigint.to_string bound);
+    Buffer.contents buf
+  end
+
+(* [form = 0] (or [<> 0]): divide by the coefficient gcd — when it does not
+   divide the constant the equation has no integer solution — and fix the
+   overall sign by making the first coefficient positive. *)
+let atom_eqne ~ne f =
+  let t = if ne then "T" else "F" and f_ = if ne then "F" else "T" in
+  if IMap.is_empty f.coeffs then if Bigint.is_zero f.const then f_ else t
+  else begin
+    let g = coeff_gcd f in
+    if not (Bigint.is_zero (Bigint.fmod f.const g)) then t
+    else begin
+      let f =
+        { const = fst (Bigint.divmod f.const g);
+          coeffs = IMap.map (fun k -> fst (Bigint.divmod k g)) f.coeffs }
+      in
+      let f = if Bigint.sign (snd (IMap.min_binding f.coeffs)) < 0 then form_neg f else f in
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (if ne then "N:" else "E:");
+      render_form buf { f with const = Bigint.zero };
+      Buffer.add_string buf (if ne then "<>" else "=");
+      Buffer.add_string buf (Bigint.to_string (Bigint.neg f.const));
+      Buffer.contents buf
+    end
+  end
+
+(* Structural fallback for atoms outside the affine fragment (div, mod,
+   min, max, abs, sgn, non-linear products): a deterministic prefix
+   rendering over numbered variables, with the operands of commutative
+   operators sorted. *)
+let rec render_iexp nb e =
+  let bin tag a b = Printf.sprintf "%s(%s,%s)" tag (render_iexp nb a) (render_iexp nb b) in
+  let bin_comm tag a b =
+    let sa = render_iexp nb a and sb = render_iexp nb b in
+    let sa, sb = if sa <= sb then (sa, sb) else (sb, sa) in
+    Printf.sprintf "%s(%s,%s)" tag sa sb
+  in
+  match e with
+  | Idx.Ivar v -> "v" ^ string_of_int (var_index nb v)
+  | Idx.Iconst n -> string_of_int n
+  | Idx.Iadd (a, b) -> bin_comm "add" a b
+  | Idx.Isub (a, b) -> bin "sub" a b
+  | Idx.Ineg a -> Printf.sprintf "neg(%s)" (render_iexp nb a)
+  | Idx.Imul (a, b) -> bin_comm "mul" a b
+  | Idx.Idiv (a, b) -> bin "div" a b
+  | Idx.Imod (a, b) -> bin "mod" a b
+  | Idx.Imin (a, b) -> bin_comm "min" a b
+  | Idx.Imax (a, b) -> bin_comm "max" a b
+  | Idx.Iabs a -> Printf.sprintf "abs(%s)" (render_iexp nb a)
+  | Idx.Isgn a -> Printf.sprintf "sgn(%s)" (render_iexp nb a)
+
+let atom_structural nb rel a b =
+  (* normalize the direction so [a > b] and [b < a] coincide; equality and
+     disequality are symmetric, so order their operands lexically *)
+  let rel, a, b =
+    match rel with
+    | Idx.Rgt -> (Idx.Rlt, b, a)
+    | Idx.Rge -> (Idx.Rle, b, a)
+    | (Idx.Rlt | Idx.Rle | Idx.Req | Idx.Rne) as r -> (r, a, b)
+  in
+  let sa = render_iexp nb a and sb = render_iexp nb b in
+  let sa, sb =
+    match rel with
+    | Idx.Req | Idx.Rne -> if sa <= sb then (sa, sb) else (sb, sa)
+    | _ -> (sa, sb)
+  in
+  let tag =
+    match rel with
+    | Idx.Rlt -> "lt"
+    | Idx.Rle -> "le"
+    | Idx.Req -> "eq"
+    | Idx.Rne -> "ne"
+    | Idx.Rge | Idx.Rgt -> assert false
+  in
+  Printf.sprintf "X:%s(%s,%s)" tag sa sb
+
+let atom_cmp nb rel a b =
+  match affine nb (Idx.Isub (a, b)) with
+  | exception Not_affine -> atom_structural nb rel a b
+  | d -> (
+      (* integrality turns strict comparisons into non-strict ones, so
+         [a < b] and [a + 1 <= b] share one canonical atom *)
+      match rel with
+      | Idx.Rle -> atom_le d
+      | Idx.Rlt -> atom_le (form_add d (form_const Bigint.one))
+      | Idx.Rge -> atom_le (form_neg d)
+      | Idx.Rgt -> atom_le (form_add (form_neg d) (form_const Bigint.one))
+      | Idx.Req -> atom_eqne ~ne:false d
+      | Idx.Rne -> atom_eqne ~ne:true d)
+
+(* ------------------------------------------------------------------ *)
+(* Formula normalization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let negate_rel = function
+  | Idx.Rlt -> Idx.Rge
+  | Idx.Rle -> Idx.Rgt
+  | Idx.Req -> Idx.Rne
+  | Idx.Rne -> Idx.Req
+  | Idx.Rge -> Idx.Rlt
+  | Idx.Rgt -> Idx.Rle
+
+(* Canonical rendering in negation normal form.  Conjunctions and
+   disjunctions are flattened, their children canonicalized, deduplicated
+   and sorted (commutativity, associativity, idempotence), and absorbed
+   constants are dropped — all Boolean equivalences, so the verdict of the
+   goal is untouched. *)
+let rec canon_bexp nb ~pos (e : Idx.bexp) =
+  match e with
+  | Idx.Bconst b -> if b = pos then "T" else "F"
+  | Idx.Bvar v -> (if pos then "P" else "!P") ^ string_of_int (var_index nb v)
+  | Idx.Bcmp (rel, a, b) -> atom_cmp nb (if pos then rel else negate_rel rel) a b
+  | Idx.Bnot e -> canon_bexp nb ~pos:(not pos) e
+  | Idx.Band _ | Idx.Bor _ ->
+      let conj = match (e, pos) with Idx.Band _, true | Idx.Bor _, false -> true | _ -> false in
+      junction ~conj (collect_children nb ~conj [] pos e)
+
+(* Gather the children of a maximal same-kind junction in NNF: [Band] under
+   a positive polarity and [Bor] under a negative one are both conjunctions
+   (De Morgan), and symmetrically for disjunctions; anything else is a
+   child, rendered at its current polarity. *)
+and collect_children nb ~conj acc pos e =
+  match (e, pos) with
+  | Idx.Bnot e, _ -> collect_children nb ~conj acc (not pos) e
+  | Idx.Band (a, b), true when conj ->
+      collect_children nb ~conj (collect_children nb ~conj acc pos a) pos b
+  | Idx.Bor (a, b), false when conj ->
+      collect_children nb ~conj (collect_children nb ~conj acc pos a) pos b
+  | Idx.Bor (a, b), true when not conj ->
+      collect_children nb ~conj (collect_children nb ~conj acc pos a) pos b
+  | Idx.Band (a, b), false when not conj ->
+      collect_children nb ~conj (collect_children nb ~conj acc pos a) pos b
+  | _ -> canon_bexp nb ~pos e :: acc
+
+and junction ~conj rendered =
+  let unit_, absorb = if conj then ("T", "F") else ("F", "T") in
+  if List.mem absorb rendered then absorb
+  else
+    match List.sort_uniq compare (List.filter (fun s -> s <> unit_) rendered) with
+    | [] -> unit_
+    | [ one ] -> one
+    | many ->
+        Printf.sprintf "%s(%s)" (if conj then "A" else "O") (String.concat ";" many)
+
+(* ------------------------------------------------------------------ *)
+(* Goal assembly                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let canonical (g : Constr.goal) =
+  let nb = number_goal g in
+  (* the hypothesis list is one big conjunction: collect every top-level
+     conjunct (through nested [Band]s and negated [Bor]s) into a single
+     sorted, deduplicated set, so splitting, nesting or reordering the
+     hypotheses is invisible *)
+  let hyp_set =
+    List.fold_left
+      (fun acc h -> collect_children nb ~conj:true acc true h)
+      [] g.Constr.goal_hyps
+  in
+  let hyps =
+    if List.mem "F" hyp_set then [ "F" ]
+    else List.sort_uniq compare (List.filter (fun s -> s <> "T") hyp_set)
+  in
+  let concl = canon_bexp nb ~pos:true g.Constr.goal_concl in
+  Printf.sprintf "g1|V:%s|H:%s|C:%s" nb.sorts (String.concat ";" hyps) concl
+
+let digest g = Digest.to_hex (Digest.string (canonical g))
+let digest_hex_length = 32

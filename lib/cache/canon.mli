@@ -1,0 +1,31 @@
+(** Goal canonicalization for the constraint-verdict cache.
+
+    Two solver goals that differ only by alpha-renaming of index variables,
+    by the order (or duplication) of hypotheses and conjuncts, or by
+    integer-equivalent presentations of the same linear atom (direction of a
+    comparison, strictness rewritten with integrality, a common factor in
+    the coefficients) receive the same canonical form and therefore the same
+    digest.  The rewrites are all semantic equivalences over the integers,
+    so canonical equality implies equi-validity of the sequents: a cached
+    verdict can be replayed for any goal with the same digest.
+
+    Variables are numbered de Bruijn-style by their position in the
+    sequent's binder list ([goal_vars], restricted to the variables that
+    actually occur), so renaming a binder never changes the form; atoms
+    are normalized before conjunct sets are sorted, so the numbering is
+    also independent of hypothesis order. *)
+
+open Dml_constr
+
+val canonical : Constr.goal -> string
+(** The canonical pre-image: a stable, human-auditable rendering of the
+    normalized sequent.  Equal strings denote equi-valid goals. *)
+
+val digest : Constr.goal -> string
+(** Hex digest (MD5 over {!canonical}): the structural cache key.  MD5 is
+    used as a fast structural fingerprint, not for adversarial collision
+    resistance; the corpus-level collision test in [test_cache.ml] checks
+    digest equality implies canonical equality. *)
+
+val digest_hex_length : int
+(** Length of the strings {!digest} returns (32). *)

@@ -1,0 +1,266 @@
+type verdict = Valid | Not_valid of string | Unsupported of string | Timeout of string
+
+type entry = { e_tier : int; e_verdict : verdict }
+
+(* Intrusive doubly-linked list threading the memo table in recency order:
+   [mru] is the most recently touched node, [lru] the eviction candidate.
+   All operations are O(1). *)
+type node = {
+  n_key : string;
+  mutable n_entry : entry;
+  mutable n_prev : node option;  (* towards the MRU end *)
+  mutable n_next : node option;  (* towards the LRU end *)
+}
+
+type t = {
+  max_entries : int;
+  dir : string option;
+  table : (string, node) Hashtbl.t;
+  mutable mru : node option;
+  mutable lru : node option;
+  mutable evictions : int;
+  mutable corrupt : int;
+  mutable persist_time : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* LRU list plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let unlink t n =
+  (match n.n_prev with Some p -> p.n_next <- n.n_next | None -> t.mru <- n.n_next);
+  (match n.n_next with Some s -> s.n_prev <- n.n_prev | None -> t.lru <- n.n_prev);
+  n.n_prev <- None;
+  n.n_next <- None
+
+let push_front t n =
+  n.n_next <- t.mru;
+  n.n_prev <- None;
+  (match t.mru with Some m -> m.n_prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let touch t n =
+  if t.mru != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent layer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "dml-cache 1"
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let verdict_tag = function Valid -> 'V' | Not_valid _ -> 'N' | Unsupported _ -> 'U' | Timeout _ -> 'T'
+let verdict_msg = function Valid -> "" | Not_valid m | Unsupported m | Timeout m -> m
+
+let verdict_of_tag tag msg =
+  match tag with
+  | 'V' -> Some Valid
+  | 'N' -> Some (Not_valid msg)
+  | 'U' -> Some (Unsupported msg)
+  | 'T' -> Some (Timeout msg)
+  | _ -> None
+
+let file_of_key dir key = Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".dmlv")
+
+let encode key entry =
+  let msg = verdict_msg entry.e_verdict in
+  let payload =
+    Printf.sprintf "%s\n%d\n%c\n%d\n%s" key entry.e_tier (verdict_tag entry.e_verdict)
+      (String.length msg) msg
+  in
+  Printf.sprintf "%s\n%s\n%d\n%s" magic
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload
+
+(* Parse a payload that already passed the checksum; still validates the
+   structure so a (vanishingly unlikely) colliding corruption cannot crash
+   the parse. *)
+let decode_payload key payload =
+  match String.index_opt payload '\n' with
+  | None -> None
+  | Some i1 -> (
+      let stored_key = String.sub payload 0 i1 in
+      if stored_key <> key then None
+      else
+        match String.index_from_opt payload (i1 + 1) '\n' with
+        | None -> None
+        | Some i2 -> (
+            match int_of_string_opt (String.sub payload (i1 + 1) (i2 - i1 - 1)) with
+            | None -> None
+            | Some tier -> (
+                if i2 + 2 >= String.length payload || payload.[i2 + 2] <> '\n' then None
+                else
+                  let tag = payload.[i2 + 1] in
+                  match String.index_from_opt payload (i2 + 3) '\n' with
+                  | None -> None
+                  | Some i3 -> (
+                      match int_of_string_opt (String.sub payload (i2 + 3) (i3 - i2 - 3)) with
+                      | None -> None
+                      | Some len ->
+                          if String.length payload - i3 - 1 <> len then None
+                          else
+                            let msg = String.sub payload (i3 + 1) len in
+                            Option.map
+                              (fun v -> { e_tier = tier; e_verdict = v })
+                              (verdict_of_tag tag msg)))))
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let contents =
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Some s
+        | exception (End_of_file | Sys_error _) -> None
+      in
+      close_in_noerr ic;
+      contents
+
+(* A disk entry is trusted only after three independent checks: the magic
+   line, the payload length, and the MD5 checksum over the payload.  Any
+   mismatch — truncation, bit flips, a foreign file — is a miss. *)
+let disk_read t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+      let path = file_of_key dir key in
+      if not (Sys.file_exists path) then None
+      else
+        let corrupt () =
+          t.corrupt <- t.corrupt + 1;
+          None
+        in
+        match read_file path with
+        | None -> corrupt ()
+        | Some contents -> (
+            match String.index_opt contents '\n' with
+            | None -> corrupt ()
+            | Some i1 -> (
+                if String.sub contents 0 i1 <> magic then corrupt ()
+                else
+                  match String.index_from_opt contents (i1 + 1) '\n' with
+                  | None -> corrupt ()
+                  | Some i2 -> (
+                      let checksum = String.sub contents (i1 + 1) (i2 - i1 - 1) in
+                      match String.index_from_opt contents (i2 + 1) '\n' with
+                      | None -> corrupt ()
+                      | Some i3 -> (
+                          match
+                            int_of_string_opt (String.sub contents (i2 + 1) (i3 - i2 - 1))
+                          with
+                          | None -> corrupt ()
+                          | Some len ->
+                              if String.length contents - i3 - 1 <> len then corrupt ()
+                              else
+                                let payload = String.sub contents (i3 + 1) len in
+                                if Digest.to_hex (Digest.string payload) <> checksum then
+                                  corrupt ()
+                                else
+                                  (match decode_payload key payload with
+                                  | None -> corrupt ()
+                                  | Some e -> Some e))))))
+
+(* Best-effort atomic write: a unique temp file in the same directory, then
+   rename.  Any filesystem error leaves the cache functional (memo-only). *)
+let disk_write t key entry =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      let path = file_of_key dir key in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      try
+        let oc = open_out_bin tmp in
+        output_string oc (encode key entry);
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ ->
+        (try Sys.remove tmp with Sys_error _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(max_entries = 4096) ?dir () =
+  let dir =
+    match dir with
+    | None -> None
+    | Some d -> (
+        match mkdir_p d with
+        | () -> if Sys.is_directory d then Some d else None
+        | exception (Unix.Unix_error _ | Sys_error _) -> None)
+  in
+  {
+    max_entries;
+    dir;
+    table = Hashtbl.create 256;
+    mru = None;
+    lru = None;
+    evictions = 0;
+    corrupt = 0;
+    persist_time = 0.;
+  }
+
+let size t = Hashtbl.length t.table
+let evictions t = t.evictions
+let corrupt_entries t = t.corrupt
+let persist_time t = t.persist_time
+
+let disk_file t key = Option.map (fun dir -> file_of_key dir key) t.dir
+
+let evict_past_capacity t =
+  if t.max_entries > 0 then
+    while Hashtbl.length t.table > t.max_entries do
+      match t.lru with
+      | None -> Hashtbl.reset t.table (* unreachable: list mirrors the table *)
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.table n.n_key;
+          t.evictions <- t.evictions + 1
+    done
+
+let insert_memo t key entry =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.n_entry <- entry;
+      touch t n
+  | None ->
+      let n = { n_key = key; n_entry = entry; n_prev = None; n_next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      evict_past_capacity t
+
+let peek t key = Option.map (fun n -> n.n_entry) (Hashtbl.find_opt t.table key)
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      touch t n;
+      Some (n.n_entry, `Mem)
+  | None -> (
+      match t.dir with
+      | None -> None
+      | Some _ -> (
+          let t0 = Unix.gettimeofday () in
+          let r = disk_read t key in
+          t.persist_time <- t.persist_time +. (Unix.gettimeofday () -. t0);
+          match r with
+          | None -> None
+          | Some e ->
+              insert_memo t key e;
+              Some (e, `Disk)))
+
+let add t key entry =
+  insert_memo t key entry;
+  if t.dir <> None then begin
+    let t0 = Unix.gettimeofday () in
+    disk_write t key entry;
+    t.persist_time <- t.persist_time +. (Unix.gettimeofday () -. t0)
+  end

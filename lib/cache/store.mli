@@ -1,0 +1,59 @@
+(** The verdict store: an in-process memo table with LRU eviction, backed
+    by an optional persistent on-disk layer.
+
+    The store is policy-free: it maps a string key (digest + method, built
+    by {!Cache}) to the last recorded {!entry} and reports where a lookup
+    was satisfied.  Budget-tier reuse rules live in {!Cache}.
+
+    Disk entries are self-checking: every file carries a length and an MD5
+    checksum over its payload, and a corrupt, truncated or foreign file is
+    reported as [None] (never an exception), so a damaged cache directory
+    degrades to a cold cache rather than a crash. *)
+
+type verdict =
+  | Valid
+  | Not_valid of string
+  | Unsupported of string
+  | Timeout of string
+      (** mirrors [Dml_solver.Solver.verdict]; duplicated here because the
+          solver sits *above* this library in the dependency order *)
+
+type entry = { e_tier : int; e_verdict : verdict }
+
+type t
+
+val create : ?max_entries:int -> ?dir:string -> unit -> t
+(** [max_entries] bounds the in-memory table (default 4096; [<= 0] means
+    unbounded).  [dir] enables the persistent layer; it is created when
+    missing.  A directory that cannot be created or written disables
+    persistence silently (the memo table still works). *)
+
+val find : t -> string -> (entry * [ `Mem | `Disk ]) option
+(** Memo-table lookup first, then the persistent layer; a disk hit is
+    promoted into the memo table. *)
+
+val peek : t -> string -> entry option
+(** Memo-table lookup only: no disk access and no recency update.  Used by
+    {!Cache.add} to decide overwrites without paying a second disk read. *)
+
+val add : t -> string -> entry -> unit
+(** Insert or overwrite, evicting the least-recently-used entry past
+    [max_entries]; with a persistent layer the entry is also written to
+    disk (atomically: temp file + rename). *)
+
+val size : t -> int
+(** Entries currently in the memo table. *)
+
+val evictions : t -> int
+(** LRU evictions performed since [create]. *)
+
+val corrupt_entries : t -> int
+(** Disk entries rejected by the length/checksum validation and treated as
+    misses. *)
+
+val persist_time : t -> float
+(** Wall-clock seconds spent reading and writing the persistent layer. *)
+
+val disk_file : t -> string -> string option
+(** The path a key persists to ([None] without a persistent layer); used by
+    the corruption tests. *)

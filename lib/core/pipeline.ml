@@ -53,6 +53,7 @@ type report = {
   rp_warnings : (string * Loc.t) list;
   rp_mlenv : Infer.env;
   rp_denv : Denv.t;
+  rp_cache_stats : Dml_cache.Cache.snapshot option;
 }
 
 let count_code_lines src =
@@ -81,10 +82,11 @@ let degraded_pred report =
   | [] -> fun _ -> false
   | sites -> fun loc -> List.mem loc sites
 
-let check ?(method_ = Solver.Fm_tightened) ?config src =
+let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
   let config =
     match config with Some c -> c | None -> { default_config with sc_method = method_ }
   in
+  let cache_before = Option.map Dml_cache.Cache.snapshot cache in
   try
     let t0 = Budget.now () in
     (* parse the basis, then the user program (keeping its annotation spans) *)
@@ -111,7 +113,7 @@ let check ?(method_ = Solver.Fm_tightened) ?config src =
             co_obligation = ob;
             co_verdict =
               Solver.check_constraint ~method_:config.sc_method
-                ~escalate:config.sc_escalate ~stats ?budget ob.Elab.ob_constr;
+                ~escalate:config.sc_escalate ~stats ?budget ?cache ob.Elab.ob_constr;
           })
         res_obligations
     in
@@ -141,6 +143,10 @@ let check ?(method_ = Solver.Fm_tightened) ?config src =
         rp_warnings = List.rev !(mlenv.Infer.warnings);
         rp_mlenv = mlenv;
         rp_denv = res_denv;
+        rp_cache_stats =
+          (match (cache, cache_before) with
+          | Some c, Some before -> Some (Dml_cache.Cache.diff (Dml_cache.Cache.snapshot c) before)
+          | _ -> None);
       }
   with
   | Lexer.Error (msg, loc) -> Error { f_stage = `Lex; f_msg = msg; f_loc = loc }
@@ -174,8 +180,8 @@ let pp_failure fmt f =
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
 
-let check_valid ?config src =
-  match check ?config src with
+let check_valid ?config ?cache src =
+  match check ?config ?cache src with
   | Error f -> Error (failure_to_string f)
   | Ok report ->
       if report.rp_valid then Ok report

@@ -62,18 +62,31 @@ type report = {
       (** pattern-match warnings from phase 1, in source order *)
   rp_mlenv : Infer.env;
   rp_denv : Denv.t;
+  rp_cache_stats : Dml_cache.Cache.snapshot option;
+      (** verdict-cache counters for *this* check (a snapshot delta, so a
+          cache shared across programs still reports per-program figures);
+          [None] when no cache was supplied *)
 }
 
 val check :
-  ?method_:Solver.method_ -> ?config:solve_config -> string -> (report, failure) result
+  ?method_:Solver.method_ ->
+  ?config:solve_config ->
+  ?cache:Dml_cache.Cache.t ->
+  string ->
+  (report, failure) result
 (** Runs the full pipeline on a user program (the basis is prepended).
     [?method_] is a shorthand for [{ default_config with sc_method }];
-    [?config] takes precedence over it.  Never raises on any input: staged
-    front-end errors are returned as failures, and an unexpected exception
-    (including stack overflow) is reported as an [`Internal] failure rather
-    than propagated. *)
+    [?config] takes precedence over it.  With [?cache] every solver goal is
+    looked up in (and recorded into) the given verdict cache — the cache
+    object is meant to be shared across many [check] calls so the basis and
+    any repeated goals are solved once ({!Dml_cache.Cache} states the reuse
+    rules).  Never raises on any input: staged front-end errors are
+    returned as failures, and an unexpected exception (including stack
+    overflow) is reported as an [`Internal] failure rather than
+    propagated. *)
 
-val check_valid : ?config:solve_config -> string -> (report, string) result
+val check_valid :
+  ?config:solve_config -> ?cache:Dml_cache.Cache.t -> string -> (report, string) result
 (** Strict mode: like {!check} but also turns unproven obligations (including
     timeouts) into an error message listing the failing constraints. *)
 

@@ -31,6 +31,25 @@ let create ?fuel ?timeout_ms ?max_eliminations () =
 
 let is_limited b = b.fuel <> max_int || b.deadline < infinity || b.elims <> max_int
 
+(* Number of bits of [n] (0 for 0): a logarithmic size class, so budgets
+   that differ only by bookkeeping noise share a tier while order-of-
+   magnitude growth is visible. *)
+let bit_length n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 (max n 0)
+
+let tier b =
+  if not (is_limited b) then max_int
+  else begin
+    let t = max_int in
+    let t = if b.fuel = max_int then t else min t (bit_length b.fuel) in
+    let t =
+      if b.deadline = infinity then t
+      else min t (bit_length (int_of_float ((b.deadline -. now ()) *. 1000.)))
+    in
+    if b.elims = max_int then t else min t (bit_length b.elims)
+  end
+
 (* Poll the clock at most once per this many units: gettimeofday costs tens
    of nanoseconds, the combination loop's iterations a few. *)
 let poll_interval = 1024

@@ -42,6 +42,15 @@ val is_limited : t -> bool
 (** [false] exactly for budgets built by {!unlimited} (or [create] with no
     limit given): callers can skip bookkeeping entirely. *)
 
+val tier : t -> int
+(** Size class of the *remaining* resources, for the verdict cache's reuse
+    rules: [max_int] for an unlimited budget, otherwise the minimum over
+    the limited resources of the bit length of what remains (fuel units,
+    deadline milliseconds, eliminations).  Monotone: a budget with more of
+    every remaining resource never lands in a smaller tier, so "reusable at
+    an equal-or-smaller tier" is a sound reuse test for [Timeout] and
+    [Unsupported] verdicts. *)
+
 val now : unit -> float
 (** Monotonic wall-clock seconds: [Unix.gettimeofday] clamped so the value
     never decreases even if the system clock steps backwards.  Used for the

@@ -13,6 +13,8 @@ type stats = {
   mutable solve_time : float;
   mutable timeouts : int;
   mutable escalations : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let new_stats () =
@@ -23,6 +25,8 @@ let new_stats () =
     solve_time = 0.;
     timeouts = 0;
     escalations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let negation_formula (g : Constr.goal) =
@@ -86,7 +90,7 @@ let model_to_string model =
   in
   String.concat ", " (List.rev parts)
 
-let check_goal ?(method_ = Fm_tightened) ?stats ?budget goal =
+let check_goal_uncached ?(method_ = Fm_tightened) ?stats ?budget goal =
   let t0 = Budget.now () in
   Option.iter (fun s -> s.checked_goals <- s.checked_goals + 1) stats;
   let result =
@@ -126,6 +130,57 @@ let check_goal ?(method_ = Fm_tightened) ?stats ?budget goal =
   Option.iter (fun s -> s.solve_time <- s.solve_time +. (Budget.now () -. t0)) stats;
   result
 
+(* --- the verdict cache --------------------------------------------------- *)
+
+let method_slug = function
+  | Fm_tightened -> "fm"
+  | Fm_plain -> "fm-plain"
+  | Simplex_rational -> "simplex"
+
+let verdict_of_cached = function
+  | Dml_cache.Cache.Valid -> Valid
+  | Dml_cache.Cache.Not_valid m -> Not_valid m
+  | Dml_cache.Cache.Unsupported m -> Unsupported m
+  | Dml_cache.Cache.Timeout m -> Timeout m
+
+let cached_of_verdict = function
+  | Valid -> Dml_cache.Cache.Valid
+  | Not_valid m -> Dml_cache.Cache.Not_valid m
+  | Unsupported m -> Dml_cache.Cache.Unsupported m
+  | Timeout m -> Dml_cache.Cache.Timeout m
+
+let check_goal ?(method_ = Fm_tightened) ?stats ?budget ?cache goal =
+  let digest =
+    (* canonicalization runs outside the solver's isolation barrier, so it
+       must not be able to kill the caller either: on resource exhaustion
+       the goal is simply solved uncached *)
+    match cache with
+    | None -> None
+    | Some _ -> (
+        match Dml_cache.Canon.digest goal with
+        | d -> Some d
+        | exception (Stack_overflow | Out_of_memory) -> None)
+  in
+  match (cache, digest) with
+  | None, _ | _, None -> check_goal_uncached ~method_ ?stats ?budget goal
+  | Some cache, Some digest -> (
+      let m = method_slug method_ in
+      let tier = match budget with None -> max_int | Some b -> Budget.tier b in
+      match Dml_cache.Cache.find cache ~digest ~method_:m ~tier with
+      | Some v ->
+          Option.iter
+            (fun s ->
+              s.checked_goals <- s.checked_goals + 1;
+              s.cache_hits <- s.cache_hits + 1;
+              match v with Dml_cache.Cache.Timeout _ -> s.timeouts <- s.timeouts + 1 | _ -> ())
+            stats;
+          verdict_of_cached v
+      | None ->
+          Option.iter (fun s -> s.cache_misses <- s.cache_misses + 1) stats;
+          let v = check_goal_uncached ~method_ ?stats ?budget goal in
+          Dml_cache.Cache.add cache ~digest ~method_:m ~tier (cached_of_verdict v);
+          v)
+
 let default_ladder = [ Fm_plain; Fm_tightened; Simplex_rational ]
 
 (* Prefer the verdict carrying the most information when nothing proves the
@@ -136,11 +191,11 @@ let verdict_rank = function
   | Timeout _ -> 1
   | Unsupported _ -> 0
 
-let check_goal_escalating ?(ladder = default_ladder) ?stats ?budget goal =
+let check_goal_escalating ?(ladder = default_ladder) ?stats ?budget ?cache goal =
   let rec go best = function
     | [] -> best
     | method_ :: rest -> (
-        match check_goal ~method_ ?stats ?budget goal with
+        match check_goal ~method_ ?stats ?budget ?cache goal with
         | Valid -> Valid
         | v ->
             if rest <> [] then
@@ -149,7 +204,7 @@ let check_goal_escalating ?(ladder = default_ladder) ?stats ?budget goal =
   in
   go (Unsupported "empty escalation ladder") ladder
 
-let check_constraint ?method_ ?(escalate = false) ?stats ?budget phi =
+let check_constraint ?method_ ?(escalate = false) ?stats ?budget ?cache phi =
   match
     let phi = Constr.eliminate_existentials phi in
     Constr.goals phi
@@ -166,8 +221,8 @@ let check_constraint ?method_ ?(escalate = false) ?stats ?budget phi =
             | None -> default_ladder
             | Some m -> m :: List.filter (fun m' -> m' <> m) default_ladder
           in
-          check_goal_escalating ~ladder ?stats ?budget g
-        else check_goal ?method_ ?stats ?budget g
+          check_goal_escalating ~ladder ?stats ?budget ?cache g
+        else check_goal ?method_ ?stats ?budget ?cache g
       in
       let rec go = function
         | [] -> Valid

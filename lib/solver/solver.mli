@@ -41,14 +41,27 @@ type stats = {
   mutable solve_time : float;  (** wall-clock seconds spent refuting (monotonic) *)
   mutable timeouts : int;  (** goals abandoned on budget exhaustion *)
   mutable escalations : int;  (** ladder steps taken past the first method *)
+  mutable cache_hits : int;  (** goals answered by the verdict cache *)
+  mutable cache_misses : int;  (** cache lookups that fell through to a solve *)
 }
 
 val new_stats : unit -> stats
 
 val check_goal :
-  ?method_:method_ -> ?stats:stats -> ?budget:Budget.t -> Constr.goal -> verdict
+  ?method_:method_ ->
+  ?stats:stats ->
+  ?budget:Budget.t ->
+  ?cache:Dml_cache.Cache.t ->
+  Constr.goal ->
+  verdict
 (** Decide one goal with a single method.  Never raises: budget exhaustion
-    and solver faults are converted to verdicts (see the module preamble). *)
+    and solver faults are converted to verdicts (see the module preamble).
+
+    With [?cache] the goal is canonicalized and looked up under
+    [(digest, method, budget tier)] first; a reusable verdict (see
+    {!Dml_cache.Cache}) is returned without running the decision procedure
+    — it still counts into [checked_goals] and [cache_hits] — and a miss
+    records the computed verdict for later calls. *)
 
 val default_ladder : method_ list
 (** The escalation order [Fm_plain; Fm_tightened; Simplex_rational]: try the
@@ -57,17 +70,25 @@ val default_ladder : method_ list
     elimination blows up. *)
 
 val check_goal_escalating :
-  ?ladder:method_ list -> ?stats:stats -> ?budget:Budget.t -> Constr.goal -> verdict
+  ?ladder:method_ list ->
+  ?stats:stats ->
+  ?budget:Budget.t ->
+  ?cache:Dml_cache.Cache.t ->
+  Constr.goal ->
+  verdict
 (** Retry the goal along the ladder until some method proves it, all fail,
     or the (shared) budget runs dry; later attempts run under the remaining
     budget.  When nothing proves the goal the most informative verdict wins
-    ([Not_valid] over [Timeout] over [Unsupported]). *)
+    ([Not_valid] over [Timeout] over [Unsupported]).  Caching is per rung:
+    each [(goal, method)] pair hits or misses independently, so a warm
+    cache replays the whole ladder without solving. *)
 
 val check_constraint :
   ?method_:method_ ->
   ?escalate:bool ->
   ?stats:stats ->
   ?budget:Budget.t ->
+  ?cache:Dml_cache.Cache.t ->
   Constr.t ->
   verdict
 (** Eliminates existentials, extracts goals, and checks them all; the first
