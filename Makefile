@@ -1,4 +1,4 @@
-.PHONY: all check build test fuzz clean
+.PHONY: all check build test fuzz bench-json clean
 
 all: build
 
@@ -17,6 +17,12 @@ fuzz:
 check: build
 	timeout 600 dune runtest
 	$(MAKE) fuzz
+
+# Machine-readable benchmark artifacts: the batch checker's aggregate report
+# (schema dml-batch/1) and the Bechamel microbenchmarks (schema dml-bench/1).
+bench-json: build
+	dune exec bin/dmlc.exe -- batch --all --json > BENCH_batch.json
+	dune exec bench/main.exe -- --json BENCH_micro.json
 
 clean:
 	dune clean

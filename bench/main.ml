@@ -193,6 +193,13 @@ let stdlib_tests =
 (* --- driver --------------------------------------------------------------------- *)
 
 let () =
+  (* [--json FILE] also writes the rows as schema dml-bench/1, the machine
+     half of the BENCH_* artifacts (see `make bench-json`) *)
+  let json_file = ref None in
+  Arg.parse
+    [ ("--json", Arg.String (fun f -> json_file := Some f), "FILE write results as JSON") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--json FILE]";
   let tests =
     pipeline_tests @ solver_tests @ tighten_tests @ cache_tests @ backend_tests
     @ stdlib_tests
@@ -212,7 +219,25 @@ let () =
         (name, est) :: acc)
       results []
   in
+  let rows = List.sort compare rows in
   Printf.printf "%-44s %16s\n" "benchmark" "ns/run";
-  List.iter
-    (fun (name, est) -> Printf.printf "%-44s %16.0f\n" name est)
-    (List.sort compare rows)
+  List.iter (fun (name, est) -> Printf.printf "%-44s %16.0f\n" name est) rows;
+  match !json_file with
+  | None -> ()
+  | Some file -> (
+      let module J = Dml_obs.Json in
+      let doc =
+        J.Obj
+          [
+            ("schema", J.String "dml-bench/1");
+            ( "rows",
+              J.List
+                (List.map
+                   (fun (name, est) ->
+                     J.Obj [ ("name", J.String name); ("ns_per_run", J.Float est) ])
+                   rows) );
+          ]
+      in
+      match J.write_file file doc with
+      | Ok () -> ()
+      | Error msg -> prerr_endline ("bench: cannot write " ^ file ^ ": " ^ msg))

@@ -10,6 +10,9 @@
 
 open Cmdliner
 open Dml_core
+module J = Dml_obs.Json
+module Trace = Dml_obs.Trace
+module Metrics = Dml_obs.Metrics
 
 let read_source path_or_name =
   match Dml_programs.Programs.find path_or_name with
@@ -97,6 +100,170 @@ let stats_flag =
              solve vs. lookup time) after the report." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* --- observability: --trace FILE, --profile, --json ------------------------- *)
+
+type obs = { ob_trace : string option; ob_profile : bool; ob_json : bool }
+
+let obs_term =
+  let trace =
+    let doc = "Write a structured trace to $(docv) (schema dml-trace/1, see \
+               DESIGN.md): nested spans for parse, infer, elaborate and every \
+               obligation and solver goal, with method, budget tier, cache status, \
+               verdict and monotonic wall-clock durations." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let profile =
+    let doc = "Dump the process metrics registry (named counters and histograms \
+               across solver, cache, pipeline and the eval backends) after the \
+               command; with $(b,--json) it is embedded as a \"metrics\" field." in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let json =
+    let doc = "Emit a machine-readable JSON report on stdout instead of the text \
+               output (schemas documented in DESIGN.md); implies span collection, so \
+               per-obligation solve spans are included." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let build ob_trace ob_profile ob_json = { ob_trace; ob_profile; ob_json } in
+  Term.(const build $ trace $ profile $ json)
+
+(* Tracing is enabled exactly while the traced work runs: spans are needed
+   for the trace file and for the JSON report's "spans" field. *)
+let with_sink obs f =
+  if obs.ob_trace = None && not obs.ob_json then (f (), None)
+  else begin
+    let sink = Trace.create_sink () in
+    Trace.set_sink (Some sink);
+    let result = Fun.protect ~finally:(fun () -> Trace.set_sink None) f in
+    (match obs.ob_trace with
+    | None -> ()
+    | Some file -> (
+        match J.write_file file (Trace.to_json sink) with
+        | Ok () -> ()
+        | Error msg -> prerr_endline ("dmlc: cannot write trace file: " ^ msg)));
+    (result, Some sink)
+  end
+
+let emit_json v = print_endline (J.to_string_pretty v)
+
+(* the trailing report fields shared by every command: collected spans when
+   tracing ran, the metrics registry under --profile *)
+let obs_fields obs sink =
+  (match sink with
+  | Some sk when obs.ob_json ->
+      [ ("spans", J.List (List.map Trace.span_to_json (Trace.roots sk))) ]
+  | _ -> [])
+  @ if obs.ob_profile then [ ("metrics", Metrics.to_json ()) ] else []
+
+let profile_text obs = if obs.ob_profile && not obs.ob_json then Format.printf "%a" Metrics.pp ()
+
+(* --- JSON report builders ---------------------------------------------------- *)
+
+let json_of_fm (fm : Dml_solver.Fourier.stats) =
+  J.Obj
+    [
+      ("eliminations", J.Int fm.Dml_solver.Fourier.eliminations);
+      ("combinations", J.Int fm.Dml_solver.Fourier.combinations);
+      ("max_constraints", J.Int fm.Dml_solver.Fourier.max_constraints);
+      ("max_coeff", J.String (Format.asprintf "%a" Dml_numeric.Bigint.pp fm.Dml_solver.Fourier.max_coeff));
+    ]
+
+let json_of_solver_stats (s : Dml_solver.Solver.stats) =
+  J.Obj
+    [
+      ("goals", J.Int s.Dml_solver.Solver.checked_goals);
+      ("disjuncts", J.Int s.Dml_solver.Solver.disjuncts);
+      ("solve_s", J.Float s.Dml_solver.Solver.solve_time);
+      ("timeouts", J.Int s.Dml_solver.Solver.timeouts);
+      ("escalations", J.Int s.Dml_solver.Solver.escalations);
+      ("cache_hits", J.Int s.Dml_solver.Solver.cache_hits);
+      ("cache_misses", J.Int s.Dml_solver.Solver.cache_misses);
+      ("fm", json_of_fm s.Dml_solver.Solver.fm);
+    ]
+
+let json_of_cache_snapshot (cs : Dml_cache.Cache.snapshot) =
+  J.Obj
+    [
+      ("hits", J.Int cs.Dml_cache.Cache.s_hits);
+      ("disk_hits", J.Int cs.Dml_cache.Cache.s_disk_hits);
+      ("misses", J.Int cs.Dml_cache.Cache.s_misses);
+      ("stores", J.Int cs.Dml_cache.Cache.s_stores);
+      ("evictions", J.Int cs.Dml_cache.Cache.s_evictions);
+      ("corrupt", J.Int cs.Dml_cache.Cache.s_corrupt);
+      ("entries", J.Int cs.Dml_cache.Cache.s_entries);
+      ("lookup_s", J.Float cs.Dml_cache.Cache.s_lookup_time);
+      ("persist_s", J.Float cs.Dml_cache.Cache.s_persist_time);
+    ]
+
+let json_of_verdict v =
+  match v with
+  | Dml_solver.Solver.Valid -> [ ("verdict", J.String "valid") ]
+  | Dml_solver.Solver.Not_valid m ->
+      [ ("verdict", J.String "not-valid"); ("detail", J.String m) ]
+  | Dml_solver.Solver.Unsupported m ->
+      [ ("verdict", J.String "unsupported"); ("detail", J.String m) ]
+  | Dml_solver.Solver.Timeout m ->
+      [ ("verdict", J.String "timeout"); ("detail", J.String m) ]
+
+let json_of_obligation (co : Pipeline.checked_obligation) =
+  J.Obj
+    ([
+       ("what", J.String co.Pipeline.co_obligation.Elab.ob_what);
+       ( "loc",
+         J.String (Format.asprintf "%a" Dml_lang.Loc.pp co.Pipeline.co_obligation.Elab.ob_loc)
+       );
+     ]
+    @ json_of_verdict co.Pipeline.co_verdict
+    @ [ ("dur_s", J.Float co.Pipeline.co_time) ])
+
+let json_of_report ~program ?(extra = []) (r : Pipeline.report) =
+  J.Obj
+    ([
+       ("schema", J.String "dml-check/1");
+       ("program", J.String program);
+       ("valid", J.Bool r.Pipeline.rp_valid);
+       ("constraints", J.Int r.Pipeline.rp_constraints);
+       ("residual", J.Int r.Pipeline.rp_residual);
+       ("timeouts", J.Int r.Pipeline.rp_timeouts);
+       ("gen_s", J.Float r.Pipeline.rp_gen_time);
+       ("solve_s", J.Float r.Pipeline.rp_solve_time);
+       ("annotations", J.Int r.Pipeline.rp_annotations);
+       ("annotation_lines", J.Int r.Pipeline.rp_annotation_lines);
+       ("code_lines", J.Int r.Pipeline.rp_code_lines);
+       ( "warnings",
+         J.List
+           (List.map
+              (fun (msg, loc) ->
+                J.Obj
+                  [
+                    ("msg", J.String msg);
+                    ("loc", J.String (Format.asprintf "%a" Dml_lang.Loc.pp loc));
+                  ])
+              r.Pipeline.rp_warnings) );
+       ("obligations", J.List (List.map json_of_obligation r.Pipeline.rp_obligations));
+       ("solver", json_of_solver_stats r.Pipeline.rp_solver_stats);
+       ( "cache",
+         match r.Pipeline.rp_cache_stats with
+         | None -> J.Null
+         | Some cs -> json_of_cache_snapshot cs );
+     ]
+    @ extra)
+
+let json_of_failure ~program (f : Pipeline.failure) =
+  J.Obj
+    [
+      ("schema", J.String "dml-check/1");
+      ("program", J.String program);
+      ("valid", J.Bool false);
+      ( "failure",
+        J.Obj
+          [
+            ("stage", J.String (Pipeline.stage_name f.Pipeline.f_stage));
+            ("msg", J.String f.Pipeline.f_msg);
+            ("loc", J.String (Format.asprintf "%a" Dml_lang.Loc.pp f.Pipeline.f_loc));
+          ] );
+    ]
+
 let print_stats (report : Pipeline.report) =
   let s = report.Pipeline.rp_solver_stats in
   Format.printf
@@ -134,30 +301,46 @@ let exit_err msg =
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run config cache stats degrade file =
+  let run config cache stats degrade obs file =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config ?cache src with
-        | Error f -> exit_err (Diagnose.render_failure ~src f)
+        let result, sink = with_sink obs (fun () -> Pipeline.check ~config ?cache src) in
+        match result with
+        | Error f ->
+            if obs.ob_json then begin
+              emit_json (json_of_failure ~program:file f);
+              exit 1
+            end
+            else exit_err (Diagnose.render_failure ~src f)
         | Ok report ->
-            Format.printf "%a@." Pipeline.pp_report report;
-            if stats then print_stats report;
-            List.iter
-              (fun (msg, loc) ->
-                Format.printf "warning at %a: %s@." Dml_lang.Loc.pp loc msg)
-              report.Pipeline.rp_warnings;
-            if degrade then print_string (Diagnose.render_degradation ~src report)
+            if obs.ob_json then begin
+              emit_json (json_of_report ~program:file ~extra:(obs_fields obs sink) report);
+              if (not report.Pipeline.rp_valid) && not degrade then exit 1
+            end
             else begin
-              print_string (Diagnose.render_report ~src report);
-              if not report.Pipeline.rp_valid then exit 1
+              Format.printf "%a@." Pipeline.pp_report report;
+              if stats then print_stats report;
+              List.iter
+                (fun (msg, loc) ->
+                  Format.printf "warning at %a: %s@." Dml_lang.Loc.pp loc msg)
+                report.Pipeline.rp_warnings;
+              if degrade then begin
+                print_string (Diagnose.render_degradation ~src report);
+                profile_text obs
+              end
+              else begin
+                print_string (Diagnose.render_report ~src report);
+                profile_text obs;
+                if not report.Pipeline.rp_valid then exit 1
+              end
             end)
   in
   let doc = "Type check a program with dependent types and solve its constraints." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ solve_config $ cache_term ~default_on:false $ stats_flag $ degrade_flag
-      $ file_arg)
+      $ obs_term $ file_arg)
 
 (* --- batch ------------------------------------------------------------------ *)
 
@@ -166,7 +349,7 @@ let check_cmd =
    a cache hit.  Per-program rows and per-pass aggregates expose the
    amortization; [--repeat 2] shows the fully warm behaviour. *)
 let batch_cmd =
-  let run config cache all repeat files =
+  let run config cache all repeat obs files =
     let named =
       if all then List.map (fun b -> b.Dml_programs.Programs.name) Dml_programs.Programs.all
       else []
@@ -175,60 +358,131 @@ let batch_cmd =
     if targets = [] then exit_err "batch: no programs given (pass FILE... or --all)";
     if repeat < 1 then exit_err "batch: --repeat must be at least 1";
     let failures = ref 0 in
-    for pass = 1 to repeat do
-      if repeat > 1 then Format.printf "--- pass %d/%d ---@." pass repeat;
-      Format.printf "%-16s %-10s %5s %6s %6s %6s %9s %9s@." "program" "status" "cons" "goals"
-        "hits" "miss" "solve(s)" "gen(s)";
-      let agg_goals = ref 0 and agg_hits = ref 0 and agg_misses = ref 0 in
-      let agg_solves = ref 0 and agg_fail = ref 0 in
-      let agg_solve = ref 0. and agg_lookup = ref 0. in
-      List.iter
-        (fun target ->
-          match read_source target with
-          | Error msg ->
-              incr agg_fail;
-              Format.printf "%-16s %-10s %s@." target "error" msg
-          | Ok src -> (
-              match Pipeline.check ~config ?cache src with
-              | Error f ->
-                  incr agg_fail;
-                  Format.printf "%-16s %-10s %s@." target "failed"
-                    (Pipeline.stage_name f.Pipeline.f_stage)
-              | Ok r ->
-                  let s = r.Pipeline.rp_solver_stats in
-                  let goals = s.Dml_solver.Solver.checked_goals in
-                  let hits = s.Dml_solver.Solver.cache_hits in
-                  let status =
-                    if r.Pipeline.rp_valid then "valid"
-                    else Printf.sprintf "resid:%d" r.Pipeline.rp_residual
-                  in
-                  agg_goals := !agg_goals + goals;
-                  agg_hits := !agg_hits + hits;
-                  agg_misses := !agg_misses + s.Dml_solver.Solver.cache_misses;
-                  (* without a cache every goal is a solver call *)
-                  agg_solves :=
-                    !agg_solves
-                    + (if cache = None then goals else s.Dml_solver.Solver.cache_misses);
-                  agg_solve := !agg_solve +. r.Pipeline.rp_solve_time;
-                  (match r.Pipeline.rp_cache_stats with
-                  | Some cs -> agg_lookup := !agg_lookup +. cs.Dml_cache.Cache.s_lookup_time
-                  | None -> ());
-                  Format.printf "%-16s %-10s %5d %6d %6d %6d %9.4f %9.4f@." target status
-                    r.Pipeline.rp_constraints goals hits s.Dml_solver.Solver.cache_misses
-                    r.Pipeline.rp_solve_time r.Pipeline.rp_gen_time))
-        targets;
-      failures := !failures + !agg_fail;
-      Format.printf
-        "pass %d: %d program(s), %d failed; goals=%d solver-calls=%d cache-hits=%d (%.1f%% \
-         hit rate); solve=%.4fs lookup=%.4fs@."
-        pass (List.length targets) !agg_fail !agg_goals !agg_solves !agg_hits
-        (if !agg_goals = 0 then 0. else 100. *. float_of_int !agg_hits /. float_of_int !agg_goals)
-        !agg_solve !agg_lookup
-    done;
-    (match cache with
-    | Some c ->
-        Format.printf "cache: %a@." Dml_cache.Cache.pp_snapshot (Dml_cache.Cache.snapshot c)
-    | None -> ());
+    let pass_docs = ref [] in
+    let (), sink =
+      with_sink obs (fun () ->
+          for pass = 1 to repeat do
+            if repeat > 1 && not obs.ob_json then Format.printf "--- pass %d/%d ---@." pass repeat;
+            if not obs.ob_json then
+              Format.printf "%-16s %-10s %5s %6s %6s %6s %9s %9s@." "program" "status" "cons"
+                "goals" "hits" "miss" "solve(s)" "gen(s)";
+            let agg_goals = ref 0 and agg_hits = ref 0 and agg_misses = ref 0 in
+            let agg_solves = ref 0 and agg_fail = ref 0 in
+            let agg_solve = ref 0. and agg_lookup = ref 0. in
+            let rows = ref [] in
+            List.iter
+              (fun target ->
+                match read_source target with
+                | Error msg ->
+                    incr agg_fail;
+                    rows :=
+                      J.Obj [ ("program", J.String target); ("error", J.String msg) ] :: !rows;
+                    if not obs.ob_json then Format.printf "%-16s %-10s %s@." target "error" msg
+                | Ok src -> (
+                    match Pipeline.check ~config ?cache src with
+                    | Error f ->
+                        incr agg_fail;
+                        rows :=
+                          J.Obj
+                            [
+                              ("program", J.String target);
+                              ("error", J.String (Pipeline.stage_name f.Pipeline.f_stage));
+                            ]
+                          :: !rows;
+                        if not obs.ob_json then
+                          Format.printf "%-16s %-10s %s@." target "failed"
+                            (Pipeline.stage_name f.Pipeline.f_stage)
+                    | Ok r ->
+                        let s = r.Pipeline.rp_solver_stats in
+                        let goals = s.Dml_solver.Solver.checked_goals in
+                        let hits = s.Dml_solver.Solver.cache_hits in
+                        let status =
+                          if r.Pipeline.rp_valid then "valid"
+                          else Printf.sprintf "resid:%d" r.Pipeline.rp_residual
+                        in
+                        agg_goals := !agg_goals + goals;
+                        agg_hits := !agg_hits + hits;
+                        agg_misses := !agg_misses + s.Dml_solver.Solver.cache_misses;
+                        (* without a cache every goal is a solver call *)
+                        agg_solves :=
+                          !agg_solves
+                          + (if cache = None then goals else s.Dml_solver.Solver.cache_misses);
+                        agg_solve := !agg_solve +. r.Pipeline.rp_solve_time;
+                        (match r.Pipeline.rp_cache_stats with
+                        | Some cs -> agg_lookup := !agg_lookup +. cs.Dml_cache.Cache.s_lookup_time
+                        | None -> ());
+                        rows :=
+                          J.Obj
+                            [
+                              ("program", J.String target);
+                              ("valid", J.Bool r.Pipeline.rp_valid);
+                              ("residual", J.Int r.Pipeline.rp_residual);
+                              ("constraints", J.Int r.Pipeline.rp_constraints);
+                              ("goals", J.Int goals);
+                              ("cache_hits", J.Int hits);
+                              ("cache_misses", J.Int s.Dml_solver.Solver.cache_misses);
+                              ("solve_s", J.Float r.Pipeline.rp_solve_time);
+                              ("gen_s", J.Float r.Pipeline.rp_gen_time);
+                            ]
+                          :: !rows;
+                        if not obs.ob_json then
+                          Format.printf "%-16s %-10s %5d %6d %6d %6d %9.4f %9.4f@." target
+                            status r.Pipeline.rp_constraints goals hits
+                            s.Dml_solver.Solver.cache_misses r.Pipeline.rp_solve_time
+                            r.Pipeline.rp_gen_time))
+              targets;
+            failures := !failures + !agg_fail;
+            let hit_rate =
+              if !agg_goals = 0 then 0.
+              else 100. *. float_of_int !agg_hits /. float_of_int !agg_goals
+            in
+            pass_docs :=
+              J.Obj
+                [
+                  ("pass", J.Int pass);
+                  ("programs", J.List (List.rev !rows));
+                  ( "aggregate",
+                    J.Obj
+                      [
+                        ("programs", J.Int (List.length targets));
+                        ("failed", J.Int !agg_fail);
+                        ("goals", J.Int !agg_goals);
+                        ("solver_calls", J.Int !agg_solves);
+                        ("cache_hits", J.Int !agg_hits);
+                        ("cache_misses", J.Int !agg_misses);
+                        ("hit_rate_pct", J.Float hit_rate);
+                        ("solve_s", J.Float !agg_solve);
+                        ("lookup_s", J.Float !agg_lookup);
+                      ] );
+                ]
+              :: !pass_docs;
+            if not obs.ob_json then
+              Format.printf
+                "pass %d: %d program(s), %d failed; goals=%d solver-calls=%d cache-hits=%d \
+                 (%.1f%% hit rate); solve=%.4fs lookup=%.4fs@."
+                pass (List.length targets) !agg_fail !agg_goals !agg_solves !agg_hits hit_rate
+                !agg_solve !agg_lookup
+          done)
+    in
+    if obs.ob_json then
+      emit_json
+        (J.Obj
+           ([
+              ("schema", J.String "dml-batch/1");
+              ("passes", J.List (List.rev !pass_docs));
+              ( "cache",
+                match cache with
+                | None -> J.Null
+                | Some c -> json_of_cache_snapshot (Dml_cache.Cache.snapshot c) );
+            ]
+           @ obs_fields obs sink))
+    else begin
+      (match cache with
+      | Some c ->
+          Format.printf "cache: %a@." Dml_cache.Cache.pp_snapshot (Dml_cache.Cache.snapshot c)
+      | None -> ());
+      profile_text obs
+    end;
     if !failures > 0 then exit 1
   in
   let files =
@@ -250,7 +504,7 @@ let batch_cmd =
      and aggregate amortization (caching is on by default here; --no-cache disables it)."
   in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const run $ solve_config $ cache_term ~default_on:true $ all $ repeat $ files)
+    Term.(const run $ solve_config $ cache_term ~default_on:true $ all $ repeat $ obs_term $ files)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
@@ -278,43 +532,93 @@ let constraints_cmd =
 (* --- run -------------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run config cache degrade file binding unchecked backend =
+  let run config cache degrade obs file binding unchecked backend =
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config ?cache src with
-        | Error f -> exit_err (Diagnose.render_failure ~src f)
-        | Ok report when (not report.Pipeline.rp_valid) && not degrade ->
-            exit_err (Diagnose.render_report ~src report)
-        | Ok report ->
-            let tprog = report.Pipeline.rp_tprog in
-            let mode = if unchecked then Dml_eval.Prims.Unchecked else Dml_eval.Prims.Checked in
-            let residual_sites = not report.Pipeline.rp_valid in
-            let counters = Dml_eval.Prims.new_counters () in
-            let lookup =
-              match backend with
-              | `Interp ->
-                  (* the AST interpreter has no per-site compilation: with
-                     residual sites it conservatively keeps every check *)
-                  let mode = if residual_sites then Dml_eval.Prims.Checked else mode in
-                  let env =
-                    Dml_eval.Interp.initial_env (Dml_eval.Prims.table mode ~counters ())
+        let result, sink =
+          with_sink obs (fun () ->
+              match Pipeline.check ~config ?cache src with
+              | Error f -> Error (`Failure f)
+              | Ok report when (not report.Pipeline.rp_valid) && not degrade ->
+                  Error (`Invalid report)
+              | Ok report ->
+                  let tprog = report.Pipeline.rp_tprog in
+                  let mode =
+                    if unchecked then Dml_eval.Prims.Unchecked else Dml_eval.Prims.Checked
                   in
-                  Dml_eval.Interp.lookup (Dml_eval.Interp.run_program env tprog)
-              | `Compiled ->
-                  let degraded =
-                    if residual_sites then Some (Pipeline.degraded_pred report) else None
+                  let residual_sites = not report.Pipeline.rp_valid in
+                  let counters = Dml_eval.Prims.new_counters () in
+                  let sp_eval = Trace.start "eval" in
+                  let lookup =
+                    match backend with
+                    | `Interp ->
+                        (* the AST interpreter has no per-site compilation: with
+                           residual sites it conservatively keeps every check *)
+                        let mode = if residual_sites then Dml_eval.Prims.Checked else mode in
+                        let env =
+                          Dml_eval.Interp.initial_env (Dml_eval.Prims.table mode ~counters ())
+                        in
+                        Dml_eval.Interp.lookup (Dml_eval.Interp.run_program env tprog)
+                    | `Compiled ->
+                        let degraded =
+                          if residual_sites then Some (Pipeline.degraded_pred report) else None
+                        in
+                        let ce = Dml_eval.Compile.initial_fast mode ~counters ?degraded () in
+                        Dml_eval.Compile.lookup (Dml_eval.Compile.run_program ce tprog)
                   in
-                  let ce = Dml_eval.Compile.initial_fast mode ~counters ?degraded () in
-                  Dml_eval.Compile.lookup (Dml_eval.Compile.run_program ce tprog)
-            in
-            Format.printf "%s = %a@." binding Dml_eval.Value.pp (lookup binding);
-            if degrade && residual_sites then
-              Format.printf
-                "degraded: %d unproven site(s) (%d timed out); residual dynamic checks \
-                 executed: %d@."
-                report.Pipeline.rp_residual report.Pipeline.rp_timeouts
-                counters.Dml_eval.Prims.dynamic_checks)
+                  let value = lookup binding in
+                  Trace.set_str sp_eval "backend"
+                    (match backend with `Interp -> "interp" | `Compiled -> "compiled");
+                  Trace.set_int sp_eval "dynamic_checks" counters.Dml_eval.Prims.dynamic_checks;
+                  Trace.set_int sp_eval "eliminated_checks"
+                    counters.Dml_eval.Prims.eliminated_checks;
+                  Trace.finish sp_eval;
+                  Ok (report, value, counters, residual_sites))
+        in
+        match result with
+        | Error (`Failure f) ->
+            if obs.ob_json then begin
+              emit_json (json_of_failure ~program:file f);
+              exit 1
+            end
+            else exit_err (Diagnose.render_failure ~src f)
+        | Error (`Invalid report) ->
+            if obs.ob_json then begin
+              emit_json (json_of_report ~program:file ~extra:(obs_fields obs sink) report);
+              exit 1
+            end
+            else exit_err (Diagnose.render_report ~src report)
+        | Ok (report, value, counters, residual_sites) ->
+            if obs.ob_json then
+              emit_json
+                (J.Obj
+                   ([
+                      ("schema", J.String "dml-run/1");
+                      ("program", J.String file);
+                      ("binding", J.String binding);
+                      ("value", J.String (Format.asprintf "%a" Dml_eval.Value.pp value));
+                      ( "backend",
+                        J.String (match backend with `Interp -> "interp" | `Compiled -> "compiled")
+                      );
+                      ("unchecked", J.Bool unchecked);
+                      ("valid", J.Bool report.Pipeline.rp_valid);
+                      ("residual", J.Int report.Pipeline.rp_residual);
+                      ("dynamic_checks", J.Int counters.Dml_eval.Prims.dynamic_checks);
+                      ("eliminated_checks", J.Int counters.Dml_eval.Prims.eliminated_checks);
+                      ("solver", json_of_solver_stats report.Pipeline.rp_solver_stats);
+                    ]
+                   @ obs_fields obs sink))
+            else begin
+              Format.printf "%s = %a@." binding Dml_eval.Value.pp value;
+              if degrade && residual_sites then
+                Format.printf
+                  "degraded: %d unproven site(s) (%d timed out); residual dynamic checks \
+                   executed: %d@."
+                  report.Pipeline.rp_residual report.Pipeline.rp_timeouts
+                  counters.Dml_eval.Prims.dynamic_checks;
+              profile_text obs
+            end)
   in
   let binding =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"BINDING" ~doc:"Binding to print.")
@@ -331,18 +635,98 @@ let run_cmd =
   let doc = "Type check, evaluate, and print a top-level binding." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ solve_config $ cache_term ~default_on:false $ degrade_flag $ file_arg
-      $ binding $ unchecked $ backend)
+      const run $ solve_config $ cache_term ~default_on:false $ degrade_flag $ obs_term
+      $ file_arg $ binding $ unchecked $ backend)
 
 (* --- tables ------------------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run () = Dml_programs.Tables.print_table1 Format.std_formatter () in
-  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.") Term.(const run $ const ())
+  let run obs =
+    let rows, sink =
+      with_sink obs (fun () ->
+          if obs.ob_json then Some (Dml_programs.Tables.table1 ())
+          else begin
+            Dml_programs.Tables.print_table1 Format.std_formatter ();
+            None
+          end)
+    in
+    match rows with
+    | Some rows ->
+        emit_json
+          (J.Obj
+             ([
+                ("schema", J.String "dml-table1/1");
+                ( "rows",
+                  J.List
+                    (List.map
+                       (function
+                         | Error msg -> J.Obj [ ("error", J.String msg) ]
+                         | Ok (r : Dml_programs.Tables.t1_row) ->
+                             J.Obj
+                               [
+                                 ("program", J.String r.Dml_programs.Tables.t1_name);
+                                 ("constraints", J.Int r.Dml_programs.Tables.t1_constraints);
+                                 ("gen_s", J.Float r.Dml_programs.Tables.t1_gen_s);
+                                 ("solve_s", J.Float r.Dml_programs.Tables.t1_solve_s);
+                                 ("annotations", J.Int r.Dml_programs.Tables.t1_annotations);
+                                 ( "annotation_lines",
+                                   J.Int r.Dml_programs.Tables.t1_annotation_lines );
+                                 ("code_lines", J.Int r.Dml_programs.Tables.t1_code_lines);
+                               ])
+                       rows) );
+              ]
+             @ obs_fields obs sink))
+    | None -> profile_text obs
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.") Term.(const run $ obs_term)
 
 let table23_cmd =
-  let run backend scale =
-    Dml_programs.Tables.print_table23 Format.std_formatter backend ~scale
+  let run backend scale obs =
+    let rows, sink =
+      with_sink obs (fun () ->
+          if obs.ob_json then Some (Dml_programs.Tables.table23 backend ~scale)
+          else begin
+            Dml_programs.Tables.print_table23 Format.std_formatter backend ~scale;
+            None
+          end)
+    in
+    match rows with
+    | Some rows ->
+        emit_json
+          (J.Obj
+             ([
+                ("schema", J.String "dml-table23/1");
+                ( "backend",
+                  J.String
+                    (match backend with
+                    | Dml_programs.Tables.Cost_model -> "cost-model"
+                    | Dml_programs.Tables.Compiled -> "compiled") );
+                ("scale", J.Int scale);
+                ( "rows",
+                  J.List
+                    (List.map2
+                       (fun (b : Dml_programs.Programs.benchmark) row ->
+                         match row with
+                         | Error msg ->
+                             J.Obj
+                               [
+                                 ("program", J.String b.Dml_programs.Programs.name);
+                                 ("error", J.String msg);
+                               ]
+                         | Ok (r : Dml_programs.Tables.t23_row) ->
+                             J.Obj
+                               [
+                                 ("program", J.String r.Dml_programs.Tables.t23_name);
+                                 ("checked", J.Float r.Dml_programs.Tables.t23_checked_s);
+                                 ("unchecked", J.Float r.Dml_programs.Tables.t23_unchecked_s);
+                                 ("gain_pct", J.Float r.Dml_programs.Tables.t23_gain_pct);
+                                 ("eliminated", J.Int r.Dml_programs.Tables.t23_eliminated);
+                                 ("residual", J.Int r.Dml_programs.Tables.t23_residual);
+                               ])
+                       Dml_programs.Programs.table_benchmarks rows) );
+              ]
+             @ obs_fields obs sink))
+    | None -> profile_text obs
   in
   let backend =
     Arg.(
@@ -361,7 +745,7 @@ let table23_cmd =
   in
   Cmd.v
     (Cmd.info "table23" ~doc:"Regenerate the paper's Tables 2/3 on a backend.")
-    Term.(const run $ backend $ scale)
+    Term.(const run $ backend $ scale $ obs_term)
 
 let pretty_cmd =
   let run file =

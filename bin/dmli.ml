@@ -99,11 +99,13 @@ type options = {
   mutable escalate : bool;
   mutable cache : bool;
   mutable cache_dir : string option;
+  mutable trace : string option;
+  mutable profile : bool;
 }
 
 let usage =
   "usage: dmli [--degrade] [--fuel N] [--timeout-ms MS] [--escalate]\n\
-  \            [--cache] [--cache-dir DIR]\n\
+  \            [--cache] [--cache-dir DIR] [--trace FILE] [--profile]\n\
   \  --degrade     accept entries with unproven obligations; their sites keep\n\
   \                dynamic checks (a failing check raises Subscript)\n\
   \  --fuel N      solver fuel per obligation\n\
@@ -111,7 +113,10 @@ let usage =
   \  --escalate    retry unproven goals with stronger solver methods\n\
   \  --cache       memoize solver verdicts across entries (the session is\n\
   \                re-checked on every entry; earlier goals become hits)\n\
-  \  --cache-dir DIR  persist cached verdicts under DIR (implies --cache)\n"
+  \  --cache-dir DIR  persist cached verdicts under DIR (implies --cache)\n\
+  \  --trace FILE  write a structured span trace of the session to FILE on\n\
+  \                exit (schema dml-trace/1, see DESIGN.md)\n\
+  \  --profile     print the process metrics registry on exit\n"
 
 let parse_options () =
   let o =
@@ -122,6 +127,8 @@ let parse_options () =
       escalate = false;
       cache = false;
       cache_dir = None;
+      trace = None;
+      profile = false;
     }
   in
   let rec go = function
@@ -144,6 +151,12 @@ let parse_options () =
         go rest
     | "--timeout-ms" :: n :: rest when int_of_string_opt n <> None ->
         o.timeout_ms <- int_of_string_opt n;
+        go rest
+    | "--trace" :: file :: rest ->
+        o.trace <- Some file;
+        go rest
+    | "--profile" :: rest ->
+        o.profile <- true;
         go rest
     | arg :: _ ->
         prerr_string (Printf.sprintf "dmli: unknown or malformed argument %S\n%s" arg usage);
@@ -168,6 +181,14 @@ let () =
            ~config:{ Dml_cache.Cache.default_config with Dml_cache.Cache.dir = opts.cache_dir }
            ())
     else None
+  in
+  let sink =
+    match opts.trace with
+    | None -> None
+    | Some _ ->
+        let sk = Dml_obs.Trace.create_sink () in
+        Dml_obs.Trace.set_sink (Some sk);
+        Some sk
   in
   Format.printf "dml interactive - PLDI'98 dependent types; end entries with ;;@.";
   Format.printf "(#quit to exit, #show to list the session so far%s)@."
@@ -212,4 +233,12 @@ let () =
                     Format.printf "runtime error: %s@." (Printexc.to_string e))));
         loop ()
   in
-  loop ()
+  loop ();
+  (match (opts.trace, sink) with
+  | Some file, Some sk -> (
+      Dml_obs.Trace.set_sink None;
+      match Dml_obs.Json.write_file file (Dml_obs.Trace.to_json sk) with
+      | Ok () -> ()
+      | Error msg -> prerr_endline ("dmli: cannot write trace file: " ^ msg))
+  | _ -> ());
+  if opts.profile then Format.printf "%a" Dml_obs.Metrics.pp ()

@@ -43,8 +43,16 @@ let key ~digest ~method_ = digest ^ ":" ^ method_
 
 let definitive = function Valid | Not_valid _ -> true | Unsupported _ | Timeout _ -> false
 
+(* process-wide registry mirrors of the per-cache counters *)
+let m_lookups = Dml_obs.Metrics.counter "cache.lookups"
+let m_hits = Dml_obs.Metrics.counter "cache.hits"
+let m_disk_hits = Dml_obs.Metrics.counter "cache.disk_hits"
+let m_misses = Dml_obs.Metrics.counter "cache.misses"
+let m_stores = Dml_obs.Metrics.counter "cache.stores"
+
 let find t ~digest ~method_ ~tier =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dml_obs.Clock.now () in
+  Dml_obs.Metrics.incr m_lookups;
   let result =
     match Store.find t.store (key ~digest ~method_) with
     | None -> None
@@ -52,13 +60,22 @@ let find t ~digest ~method_ ~tier =
         (* a definitive verdict is budget-independent; a circumstantial one
            only tells us what happens with at most the cached resources *)
         if definitive e.Store.e_verdict || tier <= e.Store.e_tier then begin
-          if origin = `Disk then t.disk_hits <- t.disk_hits + 1;
+          if origin = `Disk then begin
+            t.disk_hits <- t.disk_hits + 1;
+            Dml_obs.Metrics.incr m_disk_hits
+          end;
           Some e.Store.e_verdict
         end
         else None
   in
-  t.lookup_time <- t.lookup_time +. (Unix.gettimeofday () -. t0);
-  (match result with None -> t.misses <- t.misses + 1 | Some _ -> t.hits <- t.hits + 1);
+  t.lookup_time <- t.lookup_time +. (Dml_obs.Clock.now () -. t0);
+  (match result with
+  | None ->
+      t.misses <- t.misses + 1;
+      Dml_obs.Metrics.incr m_misses
+  | Some _ ->
+      t.hits <- t.hits + 1;
+      Dml_obs.Metrics.incr m_hits);
   result
 
 let add t ~digest ~method_ ~tier verdict =
@@ -75,7 +92,8 @@ let add t ~digest ~method_ ~tier verdict =
   in
   if not keep_existing then begin
     Store.add t.store k { Store.e_tier = tier; e_verdict = verdict };
-    t.stores <- t.stores + 1
+    t.stores <- t.stores + 1;
+    Dml_obs.Metrics.incr m_stores
   end
 
 let snapshot t =

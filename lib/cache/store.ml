@@ -23,6 +23,12 @@ type t = {
   mutable persist_time : float;
 }
 
+(* process-wide registry mirrors of the per-store counters *)
+let m_evictions = Dml_obs.Metrics.counter "cache.evictions"
+let m_corrupt = Dml_obs.Metrics.counter "cache.corrupt"
+let m_disk_reads = Dml_obs.Metrics.counter "cache.disk_reads"
+let m_disk_writes = Dml_obs.Metrics.counter "cache.disk_writes"
+
 (* ------------------------------------------------------------------ *)
 (* LRU list plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -136,6 +142,7 @@ let disk_read t key =
       else
         let corrupt () =
           t.corrupt <- t.corrupt + 1;
+          Dml_obs.Metrics.incr m_corrupt;
           None
         in
         match read_file path with
@@ -168,21 +175,35 @@ let disk_read t key =
                                   | None -> corrupt ()
                                   | Some e -> Some e))))))
 
+(* Test-only fault injection: called with the open temp-file channel before
+   the entry is written, so the error path of [disk_write] can be exercised
+   deterministically. *)
+let write_fault_injection : (out_channel -> unit) ref = ref (fun _ -> ())
+
 (* Best-effort atomic write: a unique temp file in the same directory, then
-   rename.  Any filesystem error leaves the cache functional (memo-only). *)
+   rename.  Any filesystem error leaves the cache functional (memo-only).
+   The channel is closed on every path — including a failing write — before
+   the temp file is unlinked. *)
 let disk_write t key entry =
   match t.dir with
   | None -> ()
   | Some dir -> (
       let path = file_of_key dir key in
       let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-      try
-        let oc = open_out_bin tmp in
-        output_string oc (encode key entry);
-        close_out oc;
-        Sys.rename tmp path
-      with Sys_error _ ->
-        (try Sys.remove tmp with Sys_error _ -> ()))
+      match open_out_bin tmp with
+      | exception Sys_error _ -> ()
+      | oc -> (
+          match
+            !write_fault_injection oc;
+            output_string oc (encode key entry);
+            close_out oc
+          with
+          | () -> (
+              try Sys.rename tmp path
+              with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+          | exception Sys_error _ ->
+              close_out_noerr oc;
+              (try Sys.remove tmp with Sys_error _ -> ())))
 
 (* ------------------------------------------------------------------ *)
 (* Public interface                                                    *)
@@ -223,7 +244,8 @@ let evict_past_capacity t =
       | Some n ->
           unlink t n;
           Hashtbl.remove t.table n.n_key;
-          t.evictions <- t.evictions + 1
+          t.evictions <- t.evictions + 1;
+          Dml_obs.Metrics.incr m_evictions
     done
 
 let insert_memo t key entry =
@@ -248,9 +270,10 @@ let find t key =
       match t.dir with
       | None -> None
       | Some _ -> (
-          let t0 = Unix.gettimeofday () in
+          let t0 = Dml_obs.Clock.now () in
+          Dml_obs.Metrics.incr m_disk_reads;
           let r = disk_read t key in
-          t.persist_time <- t.persist_time +. (Unix.gettimeofday () -. t0);
+          t.persist_time <- t.persist_time +. (Dml_obs.Clock.now () -. t0);
           match r with
           | None -> None
           | Some e ->
@@ -260,7 +283,8 @@ let find t key =
 let add t key entry =
   insert_memo t key entry;
   if t.dir <> None then begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Dml_obs.Clock.now () in
+    Dml_obs.Metrics.incr m_disk_writes;
     disk_write t key entry;
-    t.persist_time <- t.persist_time +. (Unix.gettimeofday () -. t0)
+    t.persist_time <- t.persist_time +. (Dml_obs.Clock.now () -. t0)
   end

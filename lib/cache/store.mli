@@ -57,3 +57,9 @@ val persist_time : t -> float
 val disk_file : t -> string -> string option
 (** The path a key persists to ([None] without a persistent layer); used by
     the corruption tests. *)
+
+val write_fault_injection : (out_channel -> unit) ref
+(** Test-only hook, called with the open temp-file channel before a
+    persistent write.  Raising [Sys_error] from it exercises the write
+    failure path, which must close the channel and remove the temp file.
+    Reset it to [fun _ -> ()] after use. *)

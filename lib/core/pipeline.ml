@@ -1,6 +1,8 @@
 open Dml_lang
 open Dml_solver
 open Dml_mltype
+module Metrics = Dml_obs.Metrics
+module Trace = Dml_obs.Trace
 
 type failure = {
   f_stage : [ `Lex | `Parse | `Mltype | `Elab | `Internal ];
@@ -8,7 +10,20 @@ type failure = {
   f_loc : Loc.t;
 }
 
-type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
+type checked_obligation = {
+  co_obligation : Elab.obligation;
+  co_verdict : Solver.verdict;
+  co_time : float;
+}
+
+(* Registry instruments (cumulative over the process; the [report] fields
+   remain the per-check view). *)
+let m_runs = Metrics.counter "pipeline.runs"
+let m_failures = Metrics.counter "pipeline.failures"
+let m_obligations = Metrics.counter "pipeline.obligations"
+let m_residual = Metrics.counter "pipeline.residual"
+let h_gen_ms = Metrics.histogram "pipeline.gen_ms"
+let h_solve_ms = Metrics.histogram "pipeline.solve_ms"
 
 type solve_config = {
   sc_method : Solver.method_;
@@ -82,25 +97,41 @@ let degraded_pred report =
   | [] -> fun _ -> false
   | sites -> fun loc -> List.mem loc sites
 
+let stage_name = function
+  | `Lex -> "lexical error"
+  | `Parse -> "syntax error"
+  | `Mltype -> "type error"
+  | `Elab -> "dependent type error"
+  | `Internal -> "internal error"
+
 let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
   let config =
     match config with Some c -> c | None -> { default_config with sc_method = method_ }
   in
   let cache_before = Option.map Dml_cache.Cache.snapshot cache in
+  let sp_check = Trace.start "check" in
+  Metrics.incr m_runs;
+  let result =
   try
     let t0 = Budget.now () in
     (* parse the basis, then the user program (keeping its annotation spans) *)
+    let sp = Trace.start "parse" in
     let basis_prog = Parser.parse_program Basis.source in
     let user_prog, spans = Parser.parse_program_with_spans src in
+    Trace.finish sp;
     let annotations, annotation_lines = annotation_metrics spans in
     (* phase 1 over basis + user code *)
+    let sp = Trace.start "infer" in
     let ml0 = Infer.initial Tyenv.builtin [] in
     let mlenv, tprog = Infer.infer_program ml0 (basis_prog @ user_prog) in
+    Trace.finish sp;
     let basis_len = List.length basis_prog in
     let user_tprog = List.filteri (fun i _ -> i >= basis_len) tprog in
     (* phase 2 *)
+    let sp = Trace.start "elaborate" in
     let denv0 = Denv.builtin mlenv.Infer.tyenv in
     let { Elab.res_denv; res_obligations } = Elab.elaborate denv0 tprog in
+    Trace.finish sp;
     let gen_time = Budget.now () -. t0 in
     (* solve, each obligation under its own budget and isolation barrier *)
     let stats = Solver.new_stats () in
@@ -109,12 +140,19 @@ let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
       List.map
         (fun ob ->
           let budget = budget_of_config config in
-          {
-            co_obligation = ob;
-            co_verdict =
-              Solver.check_constraint ~method_:config.sc_method
-                ~escalate:config.sc_escalate ~stats ?budget ?cache ob.Elab.ob_constr;
-          })
+          let sp = Trace.start "obligation" in
+          let ot0 = Budget.now () in
+          let verdict =
+            Solver.check_constraint ~method_:config.sc_method
+              ~escalate:config.sc_escalate ~stats ?budget ?cache ob.Elab.ob_constr
+          in
+          if Trace.real sp then begin
+            Trace.set_str sp "what" ob.Elab.ob_what;
+            Trace.set_str sp "loc" (Format.asprintf "%a" Loc.pp ob.Elab.ob_loc);
+            Trace.set_str sp "verdict" (Solver.verdict_slug verdict)
+          end;
+          Trace.finish sp;
+          { co_obligation = ob; co_verdict = verdict; co_time = Budget.now () -. ot0 })
         res_obligations
     in
     let solve_time = Budget.now () -. t1 in
@@ -167,13 +205,24 @@ let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
           f_msg = "unexpected exception: " ^ Printexc.to_string e;
           f_loc = Loc.dummy;
         }
-
-let stage_name = function
-  | `Lex -> "lexical error"
-  | `Parse -> "syntax error"
-  | `Mltype -> "type error"
-  | `Elab -> "dependent type error"
-  | `Internal -> "internal error"
+  in
+  (match result with
+  | Ok r ->
+      Metrics.incr ~by:r.rp_constraints m_obligations;
+      Metrics.incr ~by:r.rp_residual m_residual;
+      Metrics.observe h_gen_ms (r.rp_gen_time *. 1000.);
+      Metrics.observe h_solve_ms (r.rp_solve_time *. 1000.);
+      if Trace.real sp_check then begin
+        Trace.set_bool sp_check "valid" r.rp_valid;
+        Trace.set_int sp_check "constraints" r.rp_constraints;
+        Trace.set_int sp_check "residual" r.rp_residual
+      end
+  | Error f ->
+      Metrics.incr m_failures;
+      Trace.set_str sp_check "failure" (stage_name f.f_stage));
+  (* also closes any stage span abandoned by an exception *)
+  Trace.finish sp_check;
+  result
 
 let pp_failure fmt f =
   Format.fprintf fmt "%s at %a: %s" (stage_name f.f_stage) Loc.pp f.f_loc f.f_msg

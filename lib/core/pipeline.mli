@@ -25,7 +25,11 @@ type failure = {
   f_loc : Loc.t;
 }
 
-type checked_obligation = { co_obligation : Elab.obligation; co_verdict : Solver.verdict }
+type checked_obligation = {
+  co_obligation : Elab.obligation;
+  co_verdict : Solver.verdict;
+  co_time : float;  (** wall-clock seconds spent deciding this obligation *)
+}
 
 type solve_config = {
   sc_method : Solver.method_;  (** first (or only) method tried per goal *)

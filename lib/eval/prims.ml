@@ -12,6 +12,14 @@ type counters = {
 
 let new_counters () = { dynamic_checks = 0; eliminated_checks = 0; cycles = 0 }
 
+(* Registry mirrors: the per-run [counters] record stays the per-measurement
+   view, while the registry accumulates over the process.  Only instrumented
+   runs (counters given) pay for the mirror — the timed benchmark runs pass
+   no counters and keep their no-op note functions. *)
+let m_dynamic_checks = Dml_obs.Metrics.counter "eval.dynamic_checks"
+let m_eliminated_checks = Dml_obs.Metrics.counter "eval.eliminated_checks"
+let m_cycles = Dml_obs.Metrics.counter "eval.cycles"
+
 (* Cost model (virtual cycles, late-90s RISC granularity): a bounds check is
    a pair of compare-and-branch instructions. *)
 let check_cost = 2
@@ -45,9 +53,15 @@ let fast_table mode ?counters () =
     | Some c ->
         ( (fun () ->
             c.dynamic_checks <- c.dynamic_checks + 1;
-            c.cycles <- c.cycles + check_cost),
-          (fun () -> c.eliminated_checks <- c.eliminated_checks + 1),
-          fun () -> c.cycles <- c.cycles + step_cost )
+            c.cycles <- c.cycles + check_cost;
+            Dml_obs.Metrics.incr m_dynamic_checks;
+            Dml_obs.Metrics.incr ~by:check_cost m_cycles),
+          (fun () ->
+            c.eliminated_checks <- c.eliminated_checks + 1;
+            Dml_obs.Metrics.incr m_eliminated_checks),
+          fun () ->
+            c.cycles <- c.cycles + step_cost;
+            Dml_obs.Metrics.incr ~by:step_cost m_cycles )
   in
   (* The two access disciplines: the checked versions perform the bounds
      comparison and raise, as SML's safe subscript operations do; the
@@ -316,21 +330,25 @@ let flat_cost = function
 let with_cost c n f =
   if n = 0 then f
   else
+    let note () =
+      c.cycles <- c.cycles + n;
+      Dml_obs.Metrics.incr ~by:n m_cycles
+    in
     match f with
     | F1 g ->
         F1
           (fun a ->
-            c.cycles <- c.cycles + n;
+            note ();
             g a)
     | F2 g ->
         F2
           (fun a b ->
-            c.cycles <- c.cycles + n;
+            note ();
             g a b)
     | F3 g ->
         F3
           (fun a b v ->
-            c.cycles <- c.cycles + n;
+            note ();
             g a b v)
 
 let value_of_fast = function

@@ -1,0 +1,8 @@
+(* [Unix.gettimeofday] clamped to be non-decreasing: a deadline or a span
+   duration must never go negative because the system clock stepped. *)
+let last_now = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last_now then last_now := t;
+  !last_now

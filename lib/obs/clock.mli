@@ -1,0 +1,11 @@
+(** The system's one wall clock.
+
+    [Unix.gettimeofday] clamped to be non-decreasing, so a deadline or a
+    span duration can never go negative because the system clock stepped
+    backwards.  Every timing in the system — solver deadlines, pipeline
+    gen/solve times, trace span durations, table rows — reads this clock
+    ([Dml_solver.Budget.now] is an alias), so all reported durations are
+    directly comparable. *)
+
+val now : unit -> float
+(** Monotonic wall-clock seconds. *)

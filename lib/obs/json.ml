@@ -1,0 +1,294 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* A float must stay a float across a round trip: keep a fraction or an
+   exponent in the rendering, and print enough digits to reconstruct the
+   exact value (wall-clock timestamps need more than %g's default six).
+   Non-finite values have no JSON form. *)
+let float_to buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else
+    let shortest =
+      let s12 = Printf.sprintf "%.12g" f in
+      if float_of_string s12 = f then s12 else Printf.sprintf "%.17g" f
+    in
+    Buffer.add_string buf shortest
+
+let rec write ~indent ~level buf v =
+  let nl lv =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      for _ = 1 to 2 * lv do
+        Buffer.add_char buf ' '
+      done
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          write ~indent ~level:(level + 1) buf item)
+        items;
+      nl level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl (level + 1);
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          if indent then Buffer.add_char buf ' ';
+          write ~indent ~level:(level + 1) buf item)
+        kvs;
+      nl level;
+      Buffer.add_char buf '}'
+
+let render ~indent v =
+  let buf = Buffer.create 256 in
+  write ~indent ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:false v
+let to_string_pretty v = render ~indent:true v
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string * int
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape"
+            else
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' | '\\' | '/' ->
+                  Buffer.add_char buf e;
+                  go ()
+              | 'n' ->
+                  Buffer.add_char buf '\n';
+                  go ()
+              | 'r' ->
+                  Buffer.add_char buf '\r';
+                  go ()
+              | 't' ->
+                  Buffer.add_char buf '\t';
+                  go ()
+              | 'b' ->
+                  Buffer.add_char buf '\b';
+                  go ()
+              | 'f' ->
+                  Buffer.add_char buf '\012';
+                  go ()
+              | 'u' ->
+                  if !pos + 4 > n then fail "truncated \\u escape"
+                  else begin
+                    let hex = String.sub s !pos 4 in
+                    pos := !pos + 4;
+                    match int_of_string_opt ("0x" ^ hex) with
+                    | None -> fail "bad \\u escape"
+                    | Some code ->
+                        (* only the escapes this module emits (< 0x20) plus
+                           other BMP scalars, re-encoded as UTF-8 *)
+                        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                        else if code < 0x800 then begin
+                          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                        end
+                        else begin
+                          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                        end;
+                        go ()
+                  end
+              | _ -> fail "bad escape")
+        | c ->
+            Buffer.add_char buf c;
+            go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with Some f -> Float f | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec pairs acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                pairs ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          pairs []
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (msg, p) -> Error (Printf.sprintf "%s at offset %d" msg p)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let write_file path v =
+  match open_out path with
+  | exception Sys_error msg -> Error msg
+  | oc -> (
+      match
+        output_string oc (to_string_pretty v);
+        output_char oc '\n'
+      with
+      | () ->
+          close_out oc;
+          Ok ()
+      | exception Sys_error msg ->
+          close_out_noerr oc;
+          Error msg)

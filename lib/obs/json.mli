@@ -1,0 +1,37 @@
+(** Minimal JSON values, hand-written (no external dependency).
+
+    The observability layer's single interchange format: metric dumps, trace
+    files and the [--json] reports of [dmlc] are all built from {!t} and
+    printed with {!to_string}.  {!of_string} is a strict parser of the same
+    subset (no comments, no trailing commas), used by the round-trip tests
+    and available to downstream tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Strings are escaped per RFC 8259;
+    non-finite floats (which JSON cannot represent) render as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by people. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of the serialized form; the error is a human-readable
+    message with a character offset.  Numbers without a fraction or exponent
+    that fit in [int] parse as [Int], everything else as [Float], so
+    [of_string (to_string v) = Ok v] for every [v] this module prints (up
+    to non-finite floats, which print as [null]). *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k]; [None] otherwise. *)
+
+val write_file : string -> t -> (unit, string) result
+(** Pretty-print to a file (atomically enough for reports: write then
+    single rename is not attempted; a failed write reports the error). *)

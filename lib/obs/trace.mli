@@ -1,0 +1,78 @@
+(** Structured tracing: nested spans with attributes, behind a nullable sink.
+
+    A span covers one pipeline stage or one solver goal; spans started while
+    another is open become its children, so a trace of a check is a tree
+    [check → parse/infer/elaborate → obligation → solve].  Durations come
+    from {!Clock.now} (the same monotonic clock as the solver's budgets), so
+    span times, budget deadlines and the pipeline's aggregate timings are
+    directly comparable.
+
+    When no sink is installed (the default), {!start} returns the shared
+    {!null_span} and every other operation is a single pointer test: the
+    disabled path allocates nothing, which is what keeps tracing free for
+    the production/benchmark configuration.  Tracing is enabled by [dmlc
+    --trace FILE] and [--json], which install a sink for the duration of the
+    command.
+
+    The serialized form (schema [dml-trace/1]) is
+    [{ "schema": "dml-trace/1", "spans": [SPAN...] }] where SPAN is
+    [{ "name", "start_s", "dur_s", "attrs": {..}, "children": [SPAN...] }]. *)
+
+type span
+
+type sink
+
+val create_sink : unit -> sink
+
+val set_sink : sink option -> unit
+(** Install or remove the process-wide sink.  Spans started under a sink
+    that has since been removed are dropped on [finish]. *)
+
+val enabled : unit -> bool
+
+val null_span : span
+(** The inert span returned by {!start} when tracing is disabled. *)
+
+val real : span -> bool
+(** [false] exactly on {!null_span}: guard for attribute computations that
+    are themselves costly. *)
+
+val start : string -> span
+(** Open a span.  With no sink installed this is one branch and returns
+    {!null_span} without allocating. *)
+
+val set : span -> string -> Json.t -> unit
+(** Attach an attribute (last write to a key wins at serialization). *)
+
+val set_str : span -> string -> string -> unit
+val set_int : span -> string -> int -> unit
+val set_float : span -> string -> float -> unit
+val set_bool : span -> string -> bool -> unit
+
+val finish : span -> unit
+(** Close the span and attach it to its parent (or the sink's roots).  Any
+    child spans left open — e.g. abandoned by an exception — are closed at
+    the same instant, so the recorded nesting is always well-formed. *)
+
+val with_span : string -> (span -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span, finishing it on any exit. *)
+
+val instant : string -> (string * Json.t) list -> unit
+(** A zero-duration event attached at the current nesting position. *)
+
+val roots : sink -> span list
+(** Completed top-level spans, in start order. *)
+
+val span_name : span -> string
+
+val span_children : span -> span list
+(** Completed children, in start order. *)
+
+val span_attr : span -> string -> Json.t option
+val span_dur : span -> float
+
+val span_to_json : span -> Json.t
+(** One completed span subtree in the [dml-trace/1] SPAN shape. *)
+
+val to_json : sink -> Json.t
+(** The whole sink as schema [dml-trace/1]. *)

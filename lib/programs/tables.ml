@@ -61,13 +61,16 @@ let exec_cost_model ?degraded mode counters tprog : Workloads.exec =
 
 (* Interleaved paired measurement: the two disciplines are timed
    alternately and each takes its best of five rounds, so slow drift of the
-   machine state cannot bias one side. *)
+   machine state cannot bias one side.  Timed with [Budget.now] — the same
+   monotonic wall clock as the pipeline's gen/solve times — not [Sys.time],
+   whose CPU seconds are not comparable to the rest of the system's
+   timings. *)
 let time_pair f g =
   let once h =
     Gc.full_major ();
-    let t0 = Sys.time () in
+    let t0 = Dml_solver.Budget.now () in
     h ();
-    Sys.time () -. t0
+    Dml_solver.Budget.now () -. t0
   in
   let best_f = ref infinity and best_g = ref infinity in
   for _ = 1 to 5 do

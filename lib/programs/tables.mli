@@ -38,6 +38,11 @@ type t23_row = {
   t23_residual : int;  (** checks still executed in the unchecked run (CK sites) *)
 }
 
+val time_pair : (unit -> unit) -> (unit -> unit) -> float * float
+(** Interleaved paired measurement on the monotonic wall clock
+    ({!Dml_solver.Budget.now}): each side takes its best of five alternated
+    rounds.  Exposed for the timing regression tests. *)
+
 val run_benchmark :
   backend -> scale:int -> Programs.benchmark -> (t23_row, string) result
 (** Type checks, evaluates under both primitive modes (timed, then again with

@@ -3,20 +3,18 @@ exception Exhausted of string
 type t = {
   mutable fuel : int;  (* remaining work units; max_int = unbounded *)
   deadline : float;  (* absolute monotonic seconds; infinity = none *)
+  timeout_ms : int;  (* the *configured* deadline budget; max_int = none *)
   mutable elims : int;  (* remaining variable eliminations; max_int = unbounded *)
   mutable tick : int;  (* units spent since the deadline was last polled *)
 }
 
-(* [Unix.gettimeofday] clamped to be non-decreasing: a deadline must never
-   move into the past because the system clock stepped. *)
-let last_now = ref neg_infinity
+(* The system-wide monotonic clock ([Unix.gettimeofday] clamped to be
+   non-decreasing): a deadline must never move into the past because the
+   system clock stepped. *)
+let now = Dml_obs.Clock.now
 
-let now () =
-  let t = Unix.gettimeofday () in
-  if t > !last_now then last_now := t;
-  !last_now
-
-let unlimited () = { fuel = max_int; deadline = infinity; elims = max_int; tick = 0 }
+let unlimited () =
+  { fuel = max_int; deadline = infinity; timeout_ms = max_int; elims = max_int; tick = 0 }
 
 let create ?fuel ?timeout_ms ?max_eliminations () =
   {
@@ -25,6 +23,7 @@ let create ?fuel ?timeout_ms ?max_eliminations () =
       (match timeout_ms with
       | Some ms -> now () +. (float_of_int (max ms 0) /. 1000.)
       | None -> infinity);
+    timeout_ms = (match timeout_ms with Some ms -> max ms 0 | None -> max_int);
     elims = (match max_eliminations with Some e -> max e 0 | None -> max_int);
     tick = 0;
   }
@@ -43,10 +42,11 @@ let tier b =
   else begin
     let t = max_int in
     let t = if b.fuel = max_int then t else min t (bit_length b.fuel) in
-    let t =
-      if b.deadline = infinity then t
-      else min t (bit_length (int_of_float ((b.deadline -. now ()) *. 1000.)))
-    in
+    (* the deadline component comes from the *configured* timeout, not the
+       time left until the deadline: a batch run under one --timeout-ms must
+       map every obligation to the same tier, or cached [Timeout] verdicts
+       silently stop being reusable as the run's clock advances *)
+    let t = if b.timeout_ms = max_int then t else min t (bit_length b.timeout_ms) in
     if b.elims = max_int then t else min t (bit_length b.elims)
   end
 

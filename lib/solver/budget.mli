@@ -43,16 +43,19 @@ val is_limited : t -> bool
     limit given): callers can skip bookkeeping entirely. *)
 
 val tier : t -> int
-(** Size class of the *remaining* resources, for the verdict cache's reuse
-    rules: [max_int] for an unlimited budget, otherwise the minimum over
-    the limited resources of the bit length of what remains (fuel units,
-    deadline milliseconds, eliminations).  Monotone: a budget with more of
-    every remaining resource never lands in a smaller tier, so "reusable at
-    an equal-or-smaller tier" is a sound reuse test for [Timeout] and
-    [Unsupported] verdicts. *)
+(** Size class of the budget, for the verdict cache's reuse rules: [max_int]
+    for an unlimited budget, otherwise the minimum over the limited
+    resources of the bit length of remaining fuel units, *configured*
+    deadline milliseconds, and remaining eliminations.  The deadline
+    component is deliberately the configured timeout rather than the time
+    left: it is stable across a whole run under one [--timeout-ms], so a
+    cached [Timeout] verdict stays reusable instead of drifting out of tier
+    as the clock advances.  Monotone: a budget with more of every resource
+    never lands in a smaller tier, so "reusable at an equal-or-smaller tier"
+    is a sound reuse test for [Timeout] and [Unsupported] verdicts. *)
 
 val now : unit -> float
-(** Monotonic wall-clock seconds: [Unix.gettimeofday] clamped so the value
-    never decreases even if the system clock steps backwards.  Used for the
-    deadline and for the pipeline's gen/solve timing (which [Sys.time]'s
-    CPU seconds misrepresent under load or when mostly waiting). *)
+(** Monotonic wall-clock seconds — an alias of {!Dml_obs.Clock.now}, the
+    single clock shared by budget deadlines, pipeline gen/solve timing,
+    trace span durations and the table harness (which [Sys.time]'s CPU
+    seconds would misrepresent under load or when mostly waiting). *)

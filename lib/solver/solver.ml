@@ -1,6 +1,8 @@
 open Dml_numeric
 open Dml_index
 open Dml_constr
+module Metrics = Dml_obs.Metrics
+module Trace = Dml_obs.Trace
 
 type method_ = Fm_tightened | Fm_plain | Simplex_rational
 
@@ -16,6 +18,21 @@ type stats = {
   mutable cache_hits : int;
   mutable cache_misses : int;
 }
+
+(* Registry instruments: the process-wide spine the per-run [stats] records
+   mirror into.  [stats] stays the per-check view; the registry accumulates
+   across every solve in the process (dumped by [dmlc --profile]/[--json]). *)
+let m_goals = Metrics.counter "solver.goals"
+let m_disjuncts = Metrics.counter "solver.disjuncts"
+let m_timeouts = Metrics.counter "solver.timeouts"
+let m_escalations = Metrics.counter "solver.escalations"
+let m_cache_hits = Metrics.counter "solver.cache_hits"
+let m_cache_misses = Metrics.counter "solver.cache_misses"
+let m_solves = Metrics.counter "solver.uncached_solves"
+let h_solve_ms = Metrics.histogram "solver.solve_ms"
+
+let h_dnf_disjuncts =
+  Metrics.histogram ~bounds:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |] "solver.dnf_disjuncts"
 
 let new_stats () =
   {
@@ -93,6 +110,8 @@ let model_to_string model =
 let check_goal_uncached ?(method_ = Fm_tightened) ?stats ?budget goal =
   let t0 = Budget.now () in
   Option.iter (fun s -> s.checked_goals <- s.checked_goals + 1) stats;
+  Metrics.incr m_goals;
+  Metrics.incr m_solves;
   let result =
     (* Isolation barrier: a single obligation must not be able to kill the
        whole pipeline.  Budget exhaustion becomes [Timeout]; resource
@@ -104,6 +123,8 @@ let check_goal_uncached ?(method_ = Fm_tightened) ?stats ?budget goal =
       | Error msg -> Unsupported msg
       | Ok systems ->
           Option.iter (fun s -> s.disjuncts <- s.disjuncts + List.length systems) stats;
+          Metrics.incr ~by:(List.length systems) m_disjuncts;
+          Metrics.observe h_dnf_disjuncts (float_of_int (List.length systems));
           let rec go = function
             | [] -> Valid
             | system :: rest -> (
@@ -122,12 +143,15 @@ let check_goal_uncached ?(method_ = Fm_tightened) ?stats ?budget goal =
     | verdict -> verdict
     | exception Budget.Exhausted msg ->
         Option.iter (fun s -> s.timeouts <- s.timeouts + 1) stats;
+        Metrics.incr m_timeouts;
         Timeout msg
     | exception Stack_overflow -> Unsupported "solver stack overflow"
     | exception Out_of_memory -> Unsupported "solver out of memory"
     | exception e -> Unsupported ("internal solver error: " ^ Printexc.to_string e)
   in
-  Option.iter (fun s -> s.solve_time <- s.solve_time +. (Budget.now () -. t0)) stats;
+  let dt = Budget.now () -. t0 in
+  Option.iter (fun s -> s.solve_time <- s.solve_time +. dt) stats;
+  Metrics.observe h_solve_ms (dt *. 1000.);
   result
 
 (* --- the verdict cache --------------------------------------------------- *)
@@ -149,7 +173,25 @@ let cached_of_verdict = function
   | Unsupported m -> Dml_cache.Cache.Unsupported m
   | Timeout m -> Dml_cache.Cache.Timeout m
 
-let check_goal ?(method_ = Fm_tightened) ?stats ?budget ?cache goal =
+let verdict_slug = function
+  | Valid -> "valid"
+  | Not_valid _ -> "not-valid"
+  | Unsupported _ -> "unsupported"
+  | Timeout _ -> "timeout"
+
+(* The front door with the cache and the trace span around it.  The second
+   component reports where the verdict came from, so the escalation ladder
+   can count only uncached solves and the span can carry the cache status. *)
+let check_goal_status ~method_ ?stats ?budget ?cache goal =
+  let sp = Trace.start "solve" in
+  let fm0, disj0 =
+    if Trace.real sp then
+      match stats with
+      | Some s -> (s.fm.Fourier.eliminations, s.disjuncts)
+      | None -> (0, 0)
+    else (0, 0)
+  in
+  let tier = match budget with None -> max_int | Some b -> Budget.tier b in
   let digest =
     (* canonicalization runs outside the solver's isolation barrier, so it
        must not be able to kill the caller either: on resource exhaustion
@@ -161,25 +203,47 @@ let check_goal ?(method_ = Fm_tightened) ?stats ?budget ?cache goal =
         | d -> Some d
         | exception (Stack_overflow | Out_of_memory) -> None)
   in
-  match (cache, digest) with
-  | None, _ | _, None -> check_goal_uncached ~method_ ?stats ?budget goal
-  | Some cache, Some digest -> (
-      let m = method_slug method_ in
-      let tier = match budget with None -> max_int | Some b -> Budget.tier b in
-      match Dml_cache.Cache.find cache ~digest ~method_:m ~tier with
-      | Some v ->
-          Option.iter
-            (fun s ->
-              s.checked_goals <- s.checked_goals + 1;
-              s.cache_hits <- s.cache_hits + 1;
-              match v with Dml_cache.Cache.Timeout _ -> s.timeouts <- s.timeouts + 1 | _ -> ())
-            stats;
-          verdict_of_cached v
-      | None ->
-          Option.iter (fun s -> s.cache_misses <- s.cache_misses + 1) stats;
-          let v = check_goal_uncached ~method_ ?stats ?budget goal in
-          Dml_cache.Cache.add cache ~digest ~method_:m ~tier (cached_of_verdict v);
-          v)
+  let verdict, status =
+    match (cache, digest) with
+    | None, _ | _, None -> (check_goal_uncached ~method_ ?stats ?budget goal, `Uncached)
+    | Some cache, Some digest -> (
+        let m = method_slug method_ in
+        match Dml_cache.Cache.find cache ~digest ~method_:m ~tier with
+        | Some v ->
+            Option.iter
+              (fun s ->
+                s.checked_goals <- s.checked_goals + 1;
+                s.cache_hits <- s.cache_hits + 1;
+                match v with Dml_cache.Cache.Timeout _ -> s.timeouts <- s.timeouts + 1 | _ -> ())
+              stats;
+            Metrics.incr m_goals;
+            Metrics.incr m_cache_hits;
+            (match v with Dml_cache.Cache.Timeout _ -> Metrics.incr m_timeouts | _ -> ());
+            (verdict_of_cached v, `Hit)
+        | None ->
+            Option.iter (fun s -> s.cache_misses <- s.cache_misses + 1) stats;
+            Metrics.incr m_cache_misses;
+            let v = check_goal_uncached ~method_ ?stats ?budget goal in
+            Dml_cache.Cache.add cache ~digest ~method_:m ~tier (cached_of_verdict v);
+            (v, `Miss))
+  in
+  if Trace.real sp then begin
+    Trace.set_str sp "method" (method_slug method_);
+    (if tier = max_int then Trace.set_str sp "tier" "unlimited" else Trace.set_int sp "tier" tier);
+    Trace.set_str sp "cache"
+      (match status with `Hit -> "hit" | `Miss -> "miss" | `Uncached -> "off");
+    Trace.set_str sp "verdict" (verdict_slug verdict);
+    match stats with
+    | Some s ->
+        Trace.set_int sp "disjuncts" (s.disjuncts - disj0);
+        Trace.set_int sp "fm_eliminations" (s.fm.Fourier.eliminations - fm0)
+    | None -> ()
+  end;
+  Trace.finish sp;
+  (verdict, status)
+
+let check_goal ?(method_ = Fm_tightened) ?stats ?budget ?cache goal =
+  fst (check_goal_status ~method_ ?stats ?budget ?cache goal)
 
 let default_ladder = [ Fm_plain; Fm_tightened; Simplex_rational ]
 
@@ -195,11 +259,16 @@ let check_goal_escalating ?(ladder = default_ladder) ?stats ?budget ?cache goal 
   let rec go best = function
     | [] -> best
     | method_ :: rest -> (
-        match check_goal ~method_ ?stats ?budget ?cache goal with
-        | Valid -> Valid
-        | v ->
-            if rest <> [] then
+        match check_goal_status ~method_ ?stats ?budget ?cache goal with
+        | Valid, _ -> Valid
+        | v, status ->
+            (* an escalation is a real extra solve: a rung answered by the
+               cache replays the ladder without doing solver work, and must
+               not inflate the escalation count *)
+            if rest <> [] && status <> `Hit then begin
               Option.iter (fun s -> s.escalations <- s.escalations + 1) stats;
+              Metrics.incr m_escalations
+            end;
             go (if verdict_rank v > verdict_rank best then v else best) rest)
   in
   go (Unsupported "empty escalation ladder") ladder

@@ -40,7 +40,10 @@ type stats = {
   mutable fm : Fourier.stats;
   mutable solve_time : float;  (** wall-clock seconds spent refuting (monotonic) *)
   mutable timeouts : int;  (** goals abandoned on budget exhaustion *)
-  mutable escalations : int;  (** ladder steps taken past the first method *)
+  mutable escalations : int;
+      (** ladder steps taken past the first method that actually ran the
+          solver — a rung answered by the verdict cache is not an
+          escalation *)
   mutable cache_hits : int;  (** goals answered by the verdict cache *)
   mutable cache_misses : int;  (** cache lookups that fell through to a solve *)
 }
@@ -106,5 +109,9 @@ val disjunct_systems :
     @raise Budget.Exhausted when the DNF expansion outruns the budget. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+val verdict_slug : verdict -> string
+(** Machine-readable verdict tag (["valid"], ["not-valid"], ["unsupported"],
+    ["timeout"]) used by trace spans and the JSON reports. *)
 
 val model_to_string : Bigint.t Ivar.Map.t -> string

@@ -1,0 +1,346 @@
+(* The observability layer: metrics-registry invariants, trace span
+   well-formedness, JSON serialization round-trips (including the golden
+   file), the zero-allocation disabled path, and regressions for the four
+   fixes that rode along with it: wall-clock table timing, the persistent
+   store's write-failure leak, budget-tier stability under the clock, and
+   escalation counting on cache hits. *)
+
+open Dml_obs
+open Dml_index
+open Dml_constr
+open Dml_solver
+
+(* --- metrics registry ----------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  let c = Metrics.counter "test.mono" in
+  let v0 = Metrics.value c in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  Alcotest.(check int) "incr adds" (v0 + 42) (Metrics.value c);
+  Metrics.incr ~by:(-5) c;
+  Metrics.incr ~by:0 c;
+  Alcotest.(check int) "non-positive increments are ignored" (v0 + 42) (Metrics.value c);
+  let c' = Metrics.counter "test.mono" in
+  Metrics.incr c';
+  Alcotest.(check int) "same name, same counter" (v0 + 43) (Metrics.value c)
+
+let test_histogram () =
+  let h = Metrics.histogram ~bounds:[| 1.; 10. |] "test.histo" in
+  let n0 = Metrics.h_count h and s0 = Metrics.h_sum h in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.;
+  Metrics.observe h 50.;
+  Alcotest.(check int) "three observations" (n0 + 3) (Metrics.h_count h);
+  Alcotest.(check (float 1e-9)) "sum accumulates" (s0 +. 55.5) (Metrics.h_sum h)
+
+let test_metrics_json () =
+  Metrics.incr (Metrics.counter "test.json_counter");
+  Metrics.observe (Metrics.histogram "test.json_histo") 2.5;
+  let doc = Metrics.to_json () in
+  (match Json.member "schema" doc with
+  | Some (Json.String s) -> Alcotest.(check string) "schema" "dml-metrics/1" s
+  | _ -> Alcotest.fail "metrics dump lacks a schema field");
+  (match Json.member "counters" doc with
+  | Some (Json.Obj kvs) ->
+      Alcotest.(check bool) "registered counter appears" true
+        (List.mem_assoc "test.json_counter" kvs)
+  | _ -> Alcotest.fail "metrics dump lacks counters");
+  match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "metrics dump round-trips" true (doc = doc')
+  | Error msg -> Alcotest.fail ("metrics dump does not re-parse: " ^ msg)
+
+(* Every cache lookup is classified as exactly one of hit or miss, so the
+   registry totals must tie out. *)
+let test_cache_lookup_invariant () =
+  let lookups () = Metrics.value (Metrics.counter "cache.lookups") in
+  let hits () = Metrics.value (Metrics.counter "cache.hits") in
+  let misses () = Metrics.value (Metrics.counter "cache.misses") in
+  let c = Dml_cache.Cache.create () in
+  let l0 = lookups () and h0 = hits () and m0 = misses () in
+  Alcotest.(check bool) "cold lookup misses" true
+    (Dml_cache.Cache.find c ~digest:"g1" ~method_:"fm" ~tier:max_int = None);
+  Dml_cache.Cache.add c ~digest:"g1" ~method_:"fm" ~tier:max_int Dml_cache.Cache.Valid;
+  Alcotest.(check bool) "warm lookup hits" true
+    (Dml_cache.Cache.find c ~digest:"g1" ~method_:"fm" ~tier:max_int
+    = Some Dml_cache.Cache.Valid);
+  Alcotest.(check int) "two lookups recorded" (l0 + 2) (lookups ());
+  Alcotest.(check int) "one hit recorded" (h0 + 1) (hits ());
+  Alcotest.(check int) "one miss recorded" (m0 + 1) (misses ());
+  Alcotest.(check int) "hits + misses = lookups" (lookups ()) (hits () + misses ())
+
+(* --- trace spans --------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let sk = Trace.create_sink () in
+  Trace.set_sink (Some sk);
+  let a = Trace.start "a" in
+  let b = Trace.start "b" in
+  Trace.set_str b "k" "v1";
+  Trace.set_str b "k" "v2";
+  let _c = Trace.start "c" in
+  (* b and c are still open: finishing a must close them underneath it so
+     the recorded nesting stays well-formed *)
+  Trace.finish a;
+  Trace.finish a (* double finish is a no-op *);
+  let d = Trace.start "d" in
+  Trace.finish d;
+  Trace.set_sink None;
+  match Trace.roots sk with
+  | [ ra; rd ] -> (
+      Alcotest.(check string) "first root" "a" (Trace.span_name ra);
+      Alcotest.(check string) "second root" "d" (Trace.span_name rd);
+      Alcotest.(check bool) "durations are nonnegative" true
+        (Trace.span_dur ra >= 0. && Trace.span_dur rd >= 0.);
+      match Trace.span_children ra with
+      | [ rb ] -> (
+          Alcotest.(check string) "abandoned child is attached" "b" (Trace.span_name rb);
+          (match Trace.span_attr rb "k" with
+          | Some (Json.String s) -> Alcotest.(check string) "last attribute write wins" "v2" s
+          | _ -> Alcotest.fail "attribute k missing");
+          match Trace.span_children rb with
+          | [ rc ] -> Alcotest.(check string) "grandchild nests under b" "c" (Trace.span_name rc)
+          | cs -> Alcotest.fail (Printf.sprintf "expected [c] under b, got %d" (List.length cs)))
+      | cs -> Alcotest.fail (Printf.sprintf "expected [b] under a, got %d" (List.length cs)))
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 roots, got %d" (List.length rs))
+
+let test_span_exception () =
+  let sk = Trace.create_sink () in
+  Trace.set_sink (Some sk);
+  (try Trace.with_span "outer" (fun _ -> Trace.with_span "inner" (fun _ -> raise Exit))
+   with Exit -> ());
+  Trace.set_sink None;
+  match Trace.roots sk with
+  | [ o ] -> (
+      Alcotest.(check string) "outer survives the exception" "outer" (Trace.span_name o);
+      match Trace.span_children o with
+      | [ i ] -> Alcotest.(check string) "inner is closed and attached" "inner" (Trace.span_name i)
+      | cs -> Alcotest.fail (Printf.sprintf "expected [inner], got %d" (List.length cs)))
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length rs))
+
+let test_trace_json () =
+  let sk = Trace.create_sink () in
+  Trace.set_sink (Some sk);
+  Trace.with_span "check" (fun sp ->
+      Trace.set_bool sp "valid" true;
+      Trace.with_span "solve" (fun sp' -> Trace.set_str sp' "verdict" "valid"));
+  Trace.set_sink None;
+  let doc = Trace.to_json sk in
+  (match Json.member "schema" doc with
+  | Some (Json.String s) -> Alcotest.(check string) "schema" "dml-trace/1" s
+  | _ -> Alcotest.fail "trace lacks a schema field");
+  match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "trace round-trips" true (doc = doc')
+  | Error msg -> Alcotest.fail ("trace does not re-parse: " ^ msg)
+
+let test_disabled_trace_no_alloc () =
+  Trace.set_sink None;
+  let sp = Trace.start "warmup" in
+  Trace.finish sp;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    let sp = Trace.start "solve" in
+    if Trace.real sp then Trace.set_int sp "i" i;
+    Trace.finish sp
+  done;
+  let w1 = Gc.minor_words () in
+  (* the two minor_words calls each box a float; everything else must be
+     allocation-free on the disabled path *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled tracing allocates nothing (%.0f words)" (w1 -. w0))
+    true
+    (w1 -. w0 < 256.)
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let samples =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-12345);
+      Json.Int max_int;
+      Json.Float 0.0;
+      Json.Float 1.5;
+      Json.Float (-0.0625);
+      Json.Float 1.23456789e-7;
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \" \\ \n \t \r \x01";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+          ("b", Json.Obj [ ("nested", Json.Bool true) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let compact = Json.to_string v in
+      (match Json.of_string compact with
+      | Ok v' -> Alcotest.(check bool) ("compact round-trip: " ^ compact) true (v = v')
+      | Error msg -> Alcotest.fail (compact ^ " does not re-parse: " ^ msg));
+      match Json.of_string (Json.to_string_pretty v) with
+      | Ok v' -> Alcotest.(check bool) ("pretty round-trip: " ^ compact) true (v = v')
+      | Error msg -> Alcotest.fail ("pretty form does not re-parse: " ^ msg))
+    samples
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail ("accepted invalid JSON: " ^ s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_json_golden () =
+  (* dune runtest runs in the stanza directory, dune exec in the root *)
+  let path =
+    if Sys.file_exists "obs_golden.json" then "obs_golden.json" else "test/obs_golden.json"
+  in
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.of_string raw with
+  | Error msg -> Alcotest.fail ("golden file does not parse: " ^ msg)
+  | Ok v ->
+      Alcotest.(check string) "pretty printer reproduces the golden file" raw
+        (Json.to_string_pretty v ^ "\n");
+      (match Json.member "schema" v with
+      | Some (Json.String s) -> Alcotest.(check string) "schema" "dml-trace/1" s
+      | _ -> Alcotest.fail "golden file lacks a schema field");
+      Alcotest.(check bool) "compact form also round-trips" true
+        (Json.of_string (Json.to_string v) = Ok v)
+
+(* --- regression: Tables.time_pair measures wall time ----------------------- *)
+
+let test_time_pair_wall_clock () =
+  (* sleeping burns no CPU: under the old [Sys.time] both sides measured ~0 *)
+  let slept, quick =
+    Dml_programs.Tables.time_pair (fun () -> Unix.sleepf 0.02) (fun () -> ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sleep is measured on the wall clock (%.4fs)" slept)
+    true (slept >= 0.015);
+  Alcotest.(check bool) "the empty side is faster" true (quick < slept)
+
+(* --- regression: persistent-store write failures leak nothing -------------- *)
+
+let test_disk_write_fault () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dml_obs_store_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let st = Dml_cache.Store.create ~dir () in
+  let entry = { Dml_cache.Store.e_tier = 3; e_verdict = Dml_cache.Store.Valid } in
+  let count_fds () = try Array.length (Sys.readdir "/proc/self/fd") with Sys_error _ -> -1 in
+  Dml_cache.Store.write_fault_injection :=
+    (fun _ -> raise (Sys_error "injected write failure"));
+  let fds_before = count_fds () in
+  for i = 1 to 50 do
+    Dml_cache.Store.add st (Printf.sprintf "k%d" i) entry
+  done;
+  let fds_after = count_fds () in
+  Dml_cache.Store.write_fault_injection := (fun _ -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "no file descriptors leaked (%d -> %d)" fds_before fds_after)
+    true
+    (fds_before = -1 || fds_after <= fds_before);
+  Alcotest.(check int) "failed writes leave no temp files behind" 0
+    (Array.length (Sys.readdir dir));
+  (* the store still persists once writes succeed again *)
+  Dml_cache.Store.add st "k_ok" entry;
+  (match Dml_cache.Store.disk_file st "k_ok" with
+  | None -> Alcotest.fail "expected a persistent layer"
+  | Some path -> Alcotest.(check bool) "entry persisted after recovery" true (Sys.file_exists path));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* --- regression: budget tier is stable while the clock advances ------------ *)
+
+let test_tier_stable_under_clock () =
+  let b = Budget.create ~timeout_ms:64 () in
+  let t1 = Budget.tier b in
+  Unix.sleepf 0.05;
+  let t2 = Budget.tier b in
+  Alcotest.(check int) "tier is derived from the configured deadline, not the remaining one"
+    t1 t2;
+  Alcotest.(check bool) "deadline-limited budgets land in a finite tier" true (t1 < max_int);
+  Alcotest.(check int) "unlimited budgets keep the top tier" max_int
+    (Budget.tier (Budget.unlimited ()))
+
+(* --- regression: cache hits are not escalations ----------------------------- *)
+
+(* Provable only with integral tightening: the negation 1 <= 2x <= 1 has the
+   rational solution x = 1/2 but no integer one, so plain Fourier-Motzkin
+   fails the goal and the ladder must escalate; with tightening 2x >= 1
+   becomes x >= 1, a contradiction. *)
+let tighten_goal () =
+  let x = Ivar.fresh "x" in
+  let open Idx in
+  {
+    Constr.goal_vars = [ (x, Sint) ];
+    goal_hyps = [ Bcmp (Rle, Imul (Iconst 2, Ivar x), Iconst 1) ];
+    goal_concl = Bcmp (Rle, Imul (Iconst 2, Ivar x), Iconst 0);
+  }
+
+let test_escalations_not_counted_on_hits () =
+  let g = tighten_goal () in
+  Alcotest.(check bool) "tightened FM proves the goal" true
+    (Solver.check_goal ~method_:Solver.Fm_tightened g = Solver.Valid);
+  Alcotest.(check bool) "plain FM does not" true
+    (Solver.check_goal ~method_:Solver.Fm_plain g <> Solver.Valid);
+  let cache = Dml_cache.Cache.create () in
+  let s1 = Solver.new_stats () in
+  Alcotest.(check bool) "cold ladder proves the goal" true
+    (Solver.check_goal_escalating ~stats:s1 ~cache g = Solver.Valid);
+  Alcotest.(check bool) "the cold ladder escalated" true (s1.Solver.escalations >= 1);
+  let s2 = Solver.new_stats () in
+  Alcotest.(check bool) "warm ladder still proves the goal" true
+    (Solver.check_goal_escalating ~stats:s2 ~cache g = Solver.Valid);
+  Alcotest.(check int) "a ladder replayed from the cache counts no escalations" 0
+    s2.Solver.escalations;
+  Alcotest.(check int) "every rung was a cache hit" 0 s2.Solver.cache_misses;
+  Alcotest.(check bool) "cache hits were recorded" true (s2.Solver.cache_hits >= 1)
+
+(* --------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+          Alcotest.test_case "histogram accumulation" `Quick test_histogram;
+          Alcotest.test_case "registry JSON dump" `Quick test_metrics_json;
+          Alcotest.test_case "hits + misses = lookups" `Quick test_cache_lookup_invariant;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting well-formed" `Quick test_span_nesting;
+          Alcotest.test_case "exception closes open spans" `Quick test_span_exception;
+          Alcotest.test_case "trace JSON round-trip" `Quick test_trace_json;
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            test_disabled_trace_no_alloc;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "value round-trips" `Quick test_json_round_trip;
+          Alcotest.test_case "invalid input rejected" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "golden file" `Quick test_json_golden;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "time_pair uses the wall clock" `Quick test_time_pair_wall_clock;
+          Alcotest.test_case "store write failure leaks nothing" `Quick test_disk_write_fault;
+          Alcotest.test_case "budget tier stable under the clock" `Quick
+            test_tier_stable_under_clock;
+          Alcotest.test_case "cache hits are not escalations" `Quick
+            test_escalations_not_counted_on_hits;
+        ] );
+    ]
