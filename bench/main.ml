@@ -172,6 +172,43 @@ let cache_tests =
       (Staged.stage (fun () -> check_corpus (Some warm)));
   ]
 
+(* --- Parallel batch executor: sequential vs sharded worker pools ----------------- *)
+
+(* the whole table corpus through the batch runner: seq is the in-process
+   reference, jN forks N workers (program-sharded), the obligations variant
+   shards at the constraint grain.  Speedup = par/batch/seq over par/batch/jN;
+   on a single-core runner expect jN ≈ seq + fork/marshal overhead. *)
+let par_targets =
+  List.map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      {
+        Dml_par.Runner.tg_name = b.Dml_programs.Programs.name;
+        tg_source = Ok b.Dml_programs.Programs.source;
+      })
+    Dml_programs.Programs.table_benchmarks
+
+let par_check mode shard =
+  List.iter
+    (fun (r : Dml_par.Runner.row) ->
+      match r.Dml_par.Runner.row_result with
+      | Ok s -> assert s.Dml_par.Runner.sm_valid
+      | Error _ -> assert false)
+    (Dml_par.Runner.check_targets ~mode ~shard_obligations:shard par_targets)
+
+let par_tests =
+  [
+    Test.make ~name:"par/batch/seq"
+      (Staged.stage (fun () -> par_check Dml_par.Runner.Sequential false));
+    Test.make ~name:"par/batch/j1"
+      (Staged.stage (fun () -> par_check (Dml_par.Runner.Workers 1) false));
+    Test.make ~name:"par/batch/j2"
+      (Staged.stage (fun () -> par_check (Dml_par.Runner.Workers 2) false));
+    Test.make ~name:"par/batch/j4"
+      (Staged.stage (fun () -> par_check (Dml_par.Runner.Workers 4) false));
+    Test.make ~name:"par/batch/j4-obligations"
+      (Staged.stage (fun () -> par_check (Dml_par.Runner.Workers 4) true));
+  ]
+
 (* --- stdlib kernels: the verified merge/insertion sorts -------------------------- *)
 
 let stdlib_tests =
@@ -201,8 +238,8 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [--json FILE]";
   let tests =
-    pipeline_tests @ solver_tests @ tighten_tests @ cache_tests @ backend_tests
-    @ stdlib_tests
+    pipeline_tests @ solver_tests @ tighten_tests @ cache_tests @ par_tests
+    @ backend_tests @ stdlib_tests
   in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
   let raw =

@@ -64,8 +64,11 @@ let solve_config =
   Term.(const build $ solver_method $ escalate $ fuel $ timeout_ms $ max_elim)
 
 (* Verdict-cache configuration.  [--cache-dir] implies caching; a bare
-   [--cache] keeps the memo table in-process only. *)
-let cache_term ~default_on =
+   [--cache] keeps the memo table in-process only.  [cache_spec_term] yields
+   the configuration (what the parallel runner ships to workers, which build
+   their own cache from it); [cache_term] builds the cache object for the
+   in-process commands. *)
+let cache_spec_term ~default_on =
   let cache =
     let doc = "Memoize solver verdicts: goals are canonicalized (alpha-renaming, \
                conjunct order and linear-atom presentation are quotiented away) and \
@@ -90,10 +93,13 @@ let cache_term ~default_on =
   in
   let build enabled disabled dir entries =
     let wanted = (not disabled) && (enabled || dir <> None || default_on) in
-    if not wanted then None
-    else Some (Dml_cache.Cache.create ~config:{ Dml_cache.Cache.max_entries = entries; dir } ())
+    if not wanted then None else Some { Dml_cache.Cache.max_entries = entries; dir }
   in
   Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries)
+
+let cache_term ~default_on =
+  let build spec = Option.map (fun config -> Dml_cache.Cache.create ~config ()) spec in
+  Term.(const build $ cache_spec_term ~default_on)
 
 let stats_flag =
   let doc = "Print solver and cache counters (goals solved, hits, misses, evictions, \
@@ -348,8 +354,79 @@ let check_cmd =
    goals shared between programs) is solved once, every later occurrence is
    a cache hit.  Per-program rows and per-pass aggregates expose the
    amortization; [--repeat 2] shows the fully warm behaviour. *)
+(* The parallel batch path: resolve sources in the parent, shard across a
+   worker pool, print/emit rows in input order.  The JSON document contains
+   only schedule-independent fields, so it is byte-identical across -j
+   widths; the text table keeps the volatile timing/cache columns. *)
+let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
+  let jobs = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in
+  let resolved =
+    List.map
+      (fun name -> { Dml_par.Runner.tg_name = name; tg_source = read_source name })
+      targets
+  in
+  let failures = ref 0 in
+  let passes = ref [] in
+  let (), sink =
+    with_sink obs (fun () ->
+        for pass = 1 to repeat do
+          if repeat > 1 && not obs.ob_json then
+            Format.printf "--- pass %d/%d ---@." pass repeat;
+          let rows =
+            Dml_par.Runner.check_targets ~mode:(Dml_par.Runner.Workers jobs)
+              ~shard_obligations:shard ~config ?cache:cache_spec resolved
+          in
+          passes := rows :: !passes;
+          if not obs.ob_json then begin
+            Format.printf "%-16s %-10s %5s %6s %6s %6s %9s %9s@." "program" "status" "cons"
+              "goals" "hits" "miss" "solve(s)" "gen(s)";
+            let agg_goals = ref 0 and agg_fail = ref 0 in
+            List.iter
+              (fun (r : Dml_par.Runner.row) ->
+                match r.Dml_par.Runner.row_result with
+                | Error msg ->
+                    incr agg_fail;
+                    Format.printf "%-16s %-10s %s@." r.Dml_par.Runner.row_name "failed" msg
+                | Ok s ->
+                    let status =
+                      if s.Dml_par.Runner.sm_valid then "valid"
+                      else Printf.sprintf "resid:%d" s.Dml_par.Runner.sm_residual
+                    in
+                    agg_goals := !agg_goals + s.Dml_par.Runner.sm_goals;
+                    Format.printf "%-16s %-10s %5d %6d %6d %6d %9.4f %9.4f@."
+                      r.Dml_par.Runner.row_name status s.Dml_par.Runner.sm_constraints
+                      s.Dml_par.Runner.sm_goals s.Dml_par.Runner.sm_cache_hits
+                      s.Dml_par.Runner.sm_cache_misses s.Dml_par.Runner.sm_solve_s
+                      s.Dml_par.Runner.sm_gen_s)
+              rows;
+            Format.printf "pass %d: %d program(s), %d failed; goals=%d; jobs=%d%s@." pass
+              (List.length rows) !agg_fail !agg_goals jobs
+              (if shard then " (obligation-sharded)" else "")
+          end;
+          List.iter
+            (fun (r : Dml_par.Runner.row) ->
+              if Result.is_error r.Dml_par.Runner.row_result then incr failures)
+            rows
+        done)
+  in
+  ignore sink;
+  if obs.ob_json then begin
+    let doc = Dml_par.Runner.batch_json ~passes:(List.rev !passes) in
+    (* --profile opts into volatile figures, forfeiting byte-stability *)
+    let doc =
+      if obs.ob_profile then
+        match doc with
+        | J.Obj fields -> J.Obj (fields @ [ ("metrics", Metrics.to_json ()) ])
+        | d -> d
+      else doc
+    in
+    emit_json doc
+  end
+  else profile_text obs;
+  if !failures > 0 then exit 1
+
 let batch_cmd =
-  let run config cache all repeat obs files =
+  let run config cache_spec jobs shard all repeat obs files =
     let named =
       if all then List.map (fun b -> b.Dml_programs.Programs.name) Dml_programs.Programs.all
       else []
@@ -357,6 +434,12 @@ let batch_cmd =
     let targets = named @ files in
     if targets = [] then exit_err "batch: no programs given (pass FILE... or --all)";
     if repeat < 1 then exit_err "batch: --repeat must be at least 1";
+    if jobs <> None || shard then
+      batch_parallel ~config ~cache_spec
+        ~jobs:(Option.value jobs ~default:0)
+        ~shard ~repeat ~obs targets
+    else begin
+    let cache = Option.map (fun config -> Dml_cache.Cache.create ~config ()) cache_spec in
     let failures = ref 0 in
     let pass_docs = ref [] in
     let (), sink =
@@ -484,6 +567,7 @@ let batch_cmd =
       profile_text obs
     end;
     if !failures > 0 then exit 1
+    end
   in
   let files =
     let doc = "Program files or bundled benchmark names (see $(b,dmlc list))." in
@@ -499,12 +583,32 @@ let batch_cmd =
           ~doc:"Run the whole batch $(docv) times against the same cache; later passes \
                 show the fully warm amortization.")
   in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Shard the batch across $(docv) forked worker processes (0 = one per \
+                core).  Results are merged back in input order, so --json output is \
+                byte-identical to -j 1; a crashed or hung worker degrades only the \
+                task it was running.")
+  in
+  let shard =
+    Arg.(
+      value & flag
+      & info [ "shard-obligations" ]
+          ~doc:"Parallelize at the proof-obligation grain instead of whole programs: \
+                the front end runs in the parent and workers decide individual \
+                constraints (implies -j; balances batches dominated by one \
+                constraint-heavy program).")
+  in
   let doc =
     "Check many programs against one shared solver-verdict cache and report per-program \
      and aggregate amortization (caching is on by default here; --no-cache disables it)."
   in
   Cmd.v (Cmd.info "batch" ~doc)
-    Term.(const run $ solve_config $ cache_term ~default_on:true $ all $ repeat $ obs_term $ files)
+    Term.(
+      const run $ solve_config $ cache_spec_term ~default_on:true $ jobs $ shard $ all $ repeat
+      $ obs_term $ files)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
@@ -640,58 +744,86 @@ let run_cmd =
 
 (* --- tables ------------------------------------------------------------------------- *)
 
+(* [-j] for the table commands: one task per benchmark *name* (a benchmark
+   record holds closures and cannot cross the pipe; workers re-resolve the
+   name in their own copy of the registry). *)
+let table_jobs_term =
+  let doc =
+    "Compute table rows in parallel with $(docv) forked worker processes (0 = one per \
+     core); rows are merged back in benchmark order."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let pooled_rows ~jobs ~row_of_benchmark =
+  let jobs = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in
+  let names =
+    List.map (fun b -> b.Dml_programs.Programs.name) Dml_programs.Programs.table_benchmarks
+  in
+  let worker name =
+    match Dml_programs.Programs.find name with
+    | Some b -> row_of_benchmark b
+    | None -> Error ("unknown benchmark: " ^ name)
+  in
+  Dml_par.Pool.run ~jobs ~worker names
+  |> List.map (function
+       | Ok row -> row
+       | Error e -> Error (Dml_par.Pool.error_to_string e))
+
 let table1_cmd =
-  let run obs =
+  let run jobs obs =
     let rows, sink =
       with_sink obs (fun () ->
-          if obs.ob_json then Some (Dml_programs.Tables.table1 ())
-          else begin
-            Dml_programs.Tables.print_table1 Format.std_formatter ();
-            None
-          end)
+          match jobs with
+          | None -> Dml_programs.Tables.table1 ()
+          | Some jobs ->
+              pooled_rows ~jobs ~row_of_benchmark:(fun b ->
+                  Dml_programs.Tables.table1_row b))
     in
-    match rows with
-    | Some rows ->
-        emit_json
-          (J.Obj
-             ([
-                ("schema", J.String "dml-table1/1");
-                ( "rows",
-                  J.List
-                    (List.map
-                       (function
-                         | Error msg -> J.Obj [ ("error", J.String msg) ]
-                         | Ok (r : Dml_programs.Tables.t1_row) ->
-                             J.Obj
-                               [
-                                 ("program", J.String r.Dml_programs.Tables.t1_name);
-                                 ("constraints", J.Int r.Dml_programs.Tables.t1_constraints);
-                                 ("gen_s", J.Float r.Dml_programs.Tables.t1_gen_s);
-                                 ("solve_s", J.Float r.Dml_programs.Tables.t1_solve_s);
-                                 ("annotations", J.Int r.Dml_programs.Tables.t1_annotations);
-                                 ( "annotation_lines",
-                                   J.Int r.Dml_programs.Tables.t1_annotation_lines );
-                                 ("code_lines", J.Int r.Dml_programs.Tables.t1_code_lines);
-                               ])
-                       rows) );
-              ]
-             @ obs_fields obs sink))
-    | None -> profile_text obs
+    if obs.ob_json then
+      emit_json
+        (J.Obj
+           ([
+              ("schema", J.String "dml-table1/1");
+              ( "rows",
+                J.List
+                  (List.map
+                     (function
+                       | Error msg -> J.Obj [ ("error", J.String msg) ]
+                       | Ok (r : Dml_programs.Tables.t1_row) ->
+                           J.Obj
+                             [
+                               ("program", J.String r.Dml_programs.Tables.t1_name);
+                               ("constraints", J.Int r.Dml_programs.Tables.t1_constraints);
+                               ("gen_s", J.Float r.Dml_programs.Tables.t1_gen_s);
+                               ("solve_s", J.Float r.Dml_programs.Tables.t1_solve_s);
+                               ("annotations", J.Int r.Dml_programs.Tables.t1_annotations);
+                               ( "annotation_lines",
+                                 J.Int r.Dml_programs.Tables.t1_annotation_lines );
+                               ("code_lines", J.Int r.Dml_programs.Tables.t1_code_lines);
+                             ])
+                     rows) );
+            ]
+           @ obs_fields obs sink))
+    else begin
+      Dml_programs.Tables.print_table1_rows Format.std_formatter rows;
+      profile_text obs
+    end
   in
-  Cmd.v (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.") Term.(const run $ obs_term)
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
+    Term.(const run $ table_jobs_term $ obs_term)
 
 let table23_cmd =
-  let run backend scale obs =
+  let run backend scale jobs obs =
     let rows, sink =
       with_sink obs (fun () ->
-          if obs.ob_json then Some (Dml_programs.Tables.table23 backend ~scale)
-          else begin
-            Dml_programs.Tables.print_table23 Format.std_formatter backend ~scale;
-            None
-          end)
+          match jobs with
+          | None -> Dml_programs.Tables.table23 backend ~scale
+          | Some jobs ->
+              pooled_rows ~jobs ~row_of_benchmark:(fun b ->
+                  Dml_programs.Tables.run_benchmark backend ~scale b))
     in
-    match rows with
-    | Some rows ->
+    if obs.ob_json then
         emit_json
           (J.Obj
              ([
@@ -726,7 +858,10 @@ let table23_cmd =
                        Dml_programs.Programs.table_benchmarks rows) );
               ]
              @ obs_fields obs sink))
-    | None -> profile_text obs
+    else begin
+      Dml_programs.Tables.print_table23_rows Format.std_formatter backend ~scale rows;
+      profile_text obs
+    end
   in
   let backend =
     Arg.(
@@ -745,7 +880,7 @@ let table23_cmd =
   in
   Cmd.v
     (Cmd.info "table23" ~doc:"Regenerate the paper's Tables 2/3 on a backend.")
-    Term.(const run $ backend $ scale $ obs_term)
+    Term.(const run $ backend $ scale $ table_jobs_term $ obs_term)
 
 let pretty_cmd =
   let run file =

@@ -180,6 +180,13 @@ let disk_read t key =
    deterministically. *)
 let write_fault_injection : (out_channel -> unit) ref = ref (fun _ -> ())
 
+(* Temp-file suffix uniqueness needs more than the pid: threads or tasks of
+   one process writing the same key concurrently would collide on a pid-only
+   name, one of them renaming the other's half-written file into place.  A
+   monotonic per-process counter keeps every in-flight temp name distinct
+   (worker processes of the parallel pool are already distinct by pid). *)
+let tmp_seq = ref 0
+
 (* Best-effort atomic write: a unique temp file in the same directory, then
    rename.  Any filesystem error leaves the cache functional (memo-only).
    The channel is closed on every path — including a failing write — before
@@ -189,7 +196,8 @@ let disk_write t key entry =
   | None -> ()
   | Some dir -> (
       let path = file_of_key dir key in
-      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      incr tmp_seq;
+      let tmp = Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_seq in
       match open_out_bin tmp with
       | exception Sys_error _ -> ()
       | oc -> (

@@ -104,6 +104,123 @@ let stage_name = function
   | `Elab -> "dependent type error"
   | `Internal -> "internal error"
 
+type frontend = {
+  fe_obligations : Elab.obligation list;
+  fe_gen_time : float;
+  fe_annotations : int;
+  fe_annotation_lines : int;
+  fe_code_lines : int;
+  fe_tprog : Tast.tprogram;
+  fe_user_tprog : Tast.tprogram;
+  fe_warnings : (string * Loc.t) list;
+  fe_mlenv : Infer.env;
+  fe_denv : Denv.t;
+}
+
+(* Exception-to-failure conversion shared by [frontend] and [check]: every
+   staged front-end error and any unexpected exception becomes a failure. *)
+let failure_of_exn = function
+  | Lexer.Error (msg, loc) -> { f_stage = `Lex; f_msg = msg; f_loc = loc }
+  | Parser.Error (msg, loc) -> { f_stage = `Parse; f_msg = msg; f_loc = loc }
+  | Infer.Type_error (msg, loc) -> { f_stage = `Mltype; f_msg = msg; f_loc = loc }
+  | Elab.Error (msg, loc) -> { f_stage = `Elab; f_msg = msg; f_loc = loc }
+  | Stack_overflow -> { f_stage = `Internal; f_msg = "stack overflow"; f_loc = Loc.dummy }
+  | Out_of_memory -> { f_stage = `Internal; f_msg = "out of memory"; f_loc = Loc.dummy }
+  | e ->
+      (* the front end must never kill a caller on arbitrary input; anything
+         uncaught above is a bug, reported as a failure rather than raised *)
+      {
+        f_stage = `Internal;
+        f_msg = "unexpected exception: " ^ Printexc.to_string e;
+        f_loc = Loc.dummy;
+      }
+
+let frontend_exn src =
+  let t0 = Budget.now () in
+  (* parse the basis, then the user program (keeping its annotation spans) *)
+  let sp = Trace.start "parse" in
+  let basis_prog = Parser.parse_program Basis.source in
+  let user_prog, spans = Parser.parse_program_with_spans src in
+  Trace.finish sp;
+  let annotations, annotation_lines = annotation_metrics spans in
+  (* phase 1 over basis + user code *)
+  let sp = Trace.start "infer" in
+  let ml0 = Infer.initial Tyenv.builtin [] in
+  let mlenv, tprog = Infer.infer_program ml0 (basis_prog @ user_prog) in
+  Trace.finish sp;
+  let basis_len = List.length basis_prog in
+  let user_tprog = List.filteri (fun i _ -> i >= basis_len) tprog in
+  (* phase 2 *)
+  let sp = Trace.start "elaborate" in
+  let denv0 = Denv.builtin mlenv.Infer.tyenv in
+  let { Elab.res_denv; res_obligations } = Elab.elaborate denv0 tprog in
+  Trace.finish sp;
+  {
+    fe_obligations = res_obligations;
+    fe_gen_time = Budget.now () -. t0;
+    fe_annotations = annotations;
+    fe_annotation_lines = annotation_lines;
+    fe_code_lines = count_code_lines src;
+    fe_tprog = tprog;
+    fe_user_tprog = user_tprog;
+    fe_warnings = List.rev !(mlenv.Infer.warnings);
+    fe_mlenv = mlenv;
+    fe_denv = res_denv;
+  }
+
+let frontend src =
+  match frontend_exn src with
+  | fe -> Ok fe
+  | exception Sys.Break -> raise Sys.Break
+  | exception e -> Error (failure_of_exn e)
+
+(* Solve one obligation under its own fresh budget and isolation barrier:
+   one pathological constraint exhausts its own allowance and degrades its
+   own site, without starving the rest of the program. *)
+let solve_obligation ?(config = default_config) ?stats ?cache ob =
+  let budget = budget_of_config config in
+  let sp = Trace.start "obligation" in
+  let ot0 = Budget.now () in
+  let verdict =
+    Solver.check_constraint ~method_:config.sc_method ~escalate:config.sc_escalate ?stats
+      ?budget ?cache ob.Elab.ob_constr
+  in
+  if Trace.real sp then begin
+    Trace.set_str sp "what" ob.Elab.ob_what;
+    Trace.set_str sp "loc" (Format.asprintf "%a" Loc.pp ob.Elab.ob_loc);
+    Trace.set_str sp "verdict" (Solver.verdict_slug verdict)
+  end;
+  Trace.finish sp;
+  { co_obligation = ob; co_verdict = verdict; co_time = Budget.now () -. ot0 }
+
+let assemble ?cache_stats ~stats ~solve_time fe obligations =
+  let residual = List.filter (fun co -> co.co_verdict <> Solver.Valid) obligations in
+  let timeouts =
+    List.length
+      (List.filter
+         (fun co -> match co.co_verdict with Solver.Timeout _ -> true | _ -> false)
+         obligations)
+  in
+  {
+    rp_obligations = obligations;
+    rp_valid = residual = [];
+    rp_constraints = List.length obligations;
+    rp_residual = List.length residual;
+    rp_timeouts = timeouts;
+    rp_gen_time = fe.fe_gen_time;
+    rp_solve_time = solve_time;
+    rp_solver_stats = stats;
+    rp_annotations = fe.fe_annotations;
+    rp_annotation_lines = fe.fe_annotation_lines;
+    rp_code_lines = fe.fe_code_lines;
+    rp_tprog = fe.fe_tprog;
+    rp_user_tprog = fe.fe_user_tprog;
+    rp_warnings = fe.fe_warnings;
+    rp_mlenv = fe.fe_mlenv;
+    rp_denv = fe.fe_denv;
+    rp_cache_stats = cache_stats;
+  }
+
 let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
   let config =
     match config with Some c -> c | None -> { default_config with sc_method = method_ }
@@ -113,98 +230,20 @@ let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
   Metrics.incr m_runs;
   let result =
   try
-    let t0 = Budget.now () in
-    (* parse the basis, then the user program (keeping its annotation spans) *)
-    let sp = Trace.start "parse" in
-    let basis_prog = Parser.parse_program Basis.source in
-    let user_prog, spans = Parser.parse_program_with_spans src in
-    Trace.finish sp;
-    let annotations, annotation_lines = annotation_metrics spans in
-    (* phase 1 over basis + user code *)
-    let sp = Trace.start "infer" in
-    let ml0 = Infer.initial Tyenv.builtin [] in
-    let mlenv, tprog = Infer.infer_program ml0 (basis_prog @ user_prog) in
-    Trace.finish sp;
-    let basis_len = List.length basis_prog in
-    let user_tprog = List.filteri (fun i _ -> i >= basis_len) tprog in
-    (* phase 2 *)
-    let sp = Trace.start "elaborate" in
-    let denv0 = Denv.builtin mlenv.Infer.tyenv in
-    let { Elab.res_denv; res_obligations } = Elab.elaborate denv0 tprog in
-    Trace.finish sp;
-    let gen_time = Budget.now () -. t0 in
-    (* solve, each obligation under its own budget and isolation barrier *)
+    let fe = frontend_exn src in
     let stats = Solver.new_stats () in
     let t1 = Budget.now () in
-    let obligations =
-      List.map
-        (fun ob ->
-          let budget = budget_of_config config in
-          let sp = Trace.start "obligation" in
-          let ot0 = Budget.now () in
-          let verdict =
-            Solver.check_constraint ~method_:config.sc_method
-              ~escalate:config.sc_escalate ~stats ?budget ?cache ob.Elab.ob_constr
-          in
-          if Trace.real sp then begin
-            Trace.set_str sp "what" ob.Elab.ob_what;
-            Trace.set_str sp "loc" (Format.asprintf "%a" Loc.pp ob.Elab.ob_loc);
-            Trace.set_str sp "verdict" (Solver.verdict_slug verdict)
-          end;
-          Trace.finish sp;
-          { co_obligation = ob; co_verdict = verdict; co_time = Budget.now () -. ot0 })
-        res_obligations
-    in
+    let obligations = List.map (solve_obligation ~config ~stats ?cache) fe.fe_obligations in
     let solve_time = Budget.now () -. t1 in
-    let residual = List.filter (fun co -> co.co_verdict <> Solver.Valid) obligations in
-    let timeouts =
-      List.length
-        (List.filter
-           (fun co -> match co.co_verdict with Solver.Timeout _ -> true | _ -> false)
-           obligations)
+    let cache_stats =
+      match (cache, cache_before) with
+      | Some c, Some before -> Some (Dml_cache.Cache.diff (Dml_cache.Cache.snapshot c) before)
+      | _ -> None
     in
-    Ok
-      {
-        rp_obligations = obligations;
-        rp_valid = residual = [];
-        rp_constraints = List.length obligations;
-        rp_residual = List.length residual;
-        rp_timeouts = timeouts;
-        rp_gen_time = gen_time;
-        rp_solve_time = solve_time;
-        rp_solver_stats = stats;
-        rp_annotations = annotations;
-        rp_annotation_lines = annotation_lines;
-        rp_code_lines = count_code_lines src;
-        rp_tprog = tprog;
-        rp_user_tprog = user_tprog;
-        rp_warnings = List.rev !(mlenv.Infer.warnings);
-        rp_mlenv = mlenv;
-        rp_denv = res_denv;
-        rp_cache_stats =
-          (match (cache, cache_before) with
-          | Some c, Some before -> Some (Dml_cache.Cache.diff (Dml_cache.Cache.snapshot c) before)
-          | _ -> None);
-      }
+    Ok (assemble ?cache_stats ~stats ~solve_time fe obligations)
   with
-  | Lexer.Error (msg, loc) -> Error { f_stage = `Lex; f_msg = msg; f_loc = loc }
-  | Parser.Error (msg, loc) -> Error { f_stage = `Parse; f_msg = msg; f_loc = loc }
-  | Infer.Type_error (msg, loc) -> Error { f_stage = `Mltype; f_msg = msg; f_loc = loc }
-  | Elab.Error (msg, loc) -> Error { f_stage = `Elab; f_msg = msg; f_loc = loc }
   | Sys.Break as e -> raise e
-  | Stack_overflow ->
-      Error { f_stage = `Internal; f_msg = "stack overflow"; f_loc = Loc.dummy }
-  | Out_of_memory ->
-      Error { f_stage = `Internal; f_msg = "out of memory"; f_loc = Loc.dummy }
-  | e ->
-      (* the front end must never kill a caller on arbitrary input; anything
-         uncaught above is a bug, reported as a failure rather than raised *)
-      Error
-        {
-          f_stage = `Internal;
-          f_msg = "unexpected exception: " ^ Printexc.to_string e;
-          f_loc = Loc.dummy;
-        }
+  | e -> Error (failure_of_exn e)
   in
   (match result with
   | Ok r ->

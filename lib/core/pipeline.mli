@@ -72,6 +72,52 @@ type report = {
           [None] when no cache was supplied *)
 }
 
+(** {1 The staged pipeline}
+
+    {!check} is the one-call front door; the three stages below are exposed
+    so the parallel executor ({!Dml_par.Runner}) can run the front end in
+    the parent process, ship individual obligations to worker processes
+    (obligations are plain data and survive [Marshal]), and reassemble the
+    same report from the merged results. *)
+
+type frontend = {
+  fe_obligations : Elab.obligation list;  (** in generation order *)
+  fe_gen_time : float;  (** wall-clock seconds: parse + phases 1/2 *)
+  fe_annotations : int;
+  fe_annotation_lines : int;
+  fe_code_lines : int;
+  fe_tprog : Tast.tprogram;
+  fe_user_tprog : Tast.tprogram;
+  fe_warnings : (string * Loc.t) list;
+  fe_mlenv : Infer.env;
+  fe_denv : Denv.t;
+}
+
+val frontend : string -> (frontend, failure) result
+(** Parse, ML inference, dependent elaboration — everything before solving.
+    Never raises (same failure conversion as {!check}). *)
+
+val solve_obligation :
+  ?config:solve_config ->
+  ?stats:Solver.stats ->
+  ?cache:Dml_cache.Cache.t ->
+  Elab.obligation ->
+  checked_obligation
+(** Decide one obligation under a fresh budget built from the config (the
+    per-worker deadline inheritance of [-j N]: every process re-derives the
+    same per-obligation allowance from the shipped config).  Never raises:
+    the solver's isolation barrier converts faults to verdicts. *)
+
+val assemble :
+  ?cache_stats:Dml_cache.Cache.snapshot ->
+  stats:Solver.stats ->
+  solve_time:float ->
+  frontend ->
+  checked_obligation list ->
+  report
+(** Rebuild a {!report} from a front end and its (merged, generation-order)
+    solved obligations. *)
+
 val check :
   ?method_:Solver.method_ ->
   ?config:solve_config ->

@@ -75,6 +75,68 @@ let reset () =
           h.hm_max <- neg_infinity)
     registry
 
+(* Cross-process aggregation: a serializable image of the registry, shipped
+   from worker processes and added into the parent's instruments. *)
+type edatum =
+  | Ecounter of int
+  | Ehistogram of {
+      eh_bounds : float array;
+      eh_buckets : int array;
+      eh_count : int;
+      eh_sum : float;
+      eh_min : float;
+      eh_max : float;
+    }
+
+type export = (string * edatum) list
+
+let export () =
+  Hashtbl.fold
+    (fun name instr acc ->
+      match instr with
+      | Counter c -> if c.c_value = 0 then acc else (name, Ecounter c.c_value) :: acc
+      | Histogram h ->
+          if h.hm_count = 0 then acc
+          else
+            ( name,
+              Ehistogram
+                {
+                  eh_bounds = Array.copy h.h_bounds;
+                  eh_buckets = Array.copy h.h_buckets;
+                  eh_count = h.hm_count;
+                  eh_sum = h.hm_sum;
+                  eh_min = h.hm_min;
+                  eh_max = h.hm_max;
+                } )
+            :: acc)
+    registry []
+
+let absorb ex =
+  List.iter
+    (fun (name, d) ->
+      match d with
+      | Ecounter v -> ( try incr ~by:v (counter name) with Invalid_argument _ -> ())
+      | Ehistogram e -> (
+          match histogram ~bounds:e.eh_bounds name with
+          | exception Invalid_argument _ -> ()
+          | h ->
+              h.hm_count <- h.hm_count + e.eh_count;
+              h.hm_sum <- h.hm_sum +. e.eh_sum;
+              if e.eh_count > 0 then begin
+                if e.eh_min < h.hm_min then h.hm_min <- e.eh_min;
+                if e.eh_max > h.hm_max then h.hm_max <- e.eh_max
+              end;
+              if Array.length h.h_buckets = Array.length e.eh_buckets then
+                Array.iteri (fun i c -> h.h_buckets.(i) <- h.h_buckets.(i) + c) e.eh_buckets
+              else begin
+                (* bounds mismatch (should not happen within one binary):
+                   keep the totals honest by folding into the overflow bucket *)
+                let last = Array.length h.h_buckets - 1 in
+                h.h_buckets.(last) <-
+                  h.h_buckets.(last) + Array.fold_left ( + ) 0 e.eh_buckets
+              end))
+    ex
+
 let sorted_instruments () =
   Hashtbl.fold (fun name instr acc -> (name, instr) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

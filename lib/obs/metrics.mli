@@ -40,6 +40,22 @@ val reset : unit -> unit
 (** Zero every registered instrument (registrations survive).  For tests
     and for the [--repeat] front-ends that report per-pass deltas. *)
 
+type export
+(** A serializable image of the registry: plain data, safe to [Marshal]
+    across a process boundary.  The worker pool ({!Dml_par.Pool}) ships one
+    per task so the parent's registry accounts for all solver work done in
+    worker processes. *)
+
+val export : unit -> export
+(** Snapshot every instrument with a non-zero value. *)
+
+val absorb : export -> unit
+(** Add an exported snapshot into this process's registry, creating any
+    missing instruments (histograms keep the exporter's bucket bounds).
+    Counters add; histogram counts, sums and buckets add; min/max widen.
+    Total: a name registered under a different instrument kind is skipped
+    rather than raised on. *)
+
 val counters : unit -> (string * int) list
 (** Current counter values, sorted by name. *)
 

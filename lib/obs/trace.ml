@@ -77,6 +77,10 @@ let instant name attrs =
       let t = Clock.now () in
       attach sk { sp_name = name; sp_start = t; sp_dur = 0.; sp_attrs = List.rev attrs; sp_children = [] }
 
+let adopt sp =
+  if sp != null_span then
+    match !current with None -> () | Some sk -> attach sk sp
+
 let roots sk = List.rev sk.sk_roots
 let span_name sp = sp.sp_name
 let span_children sp = List.rev sp.sp_children

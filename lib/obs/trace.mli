@@ -63,6 +63,14 @@ val instant : string -> (string * Json.t) list -> unit
 val roots : sink -> span list
 (** Completed top-level spans, in start order. *)
 
+val adopt : span -> unit
+(** Attach an already-completed span subtree at the current nesting position
+    (as a child of the innermost open span, or as a root).  Spans are plain
+    data, so a completed tree survives [Marshal]: the worker pool collects
+    the spans recorded inside a worker process and the parent adopts them,
+    keeping [--trace]/[--json] complete under [-j N].  No-op without a sink
+    or on {!null_span}. *)
+
 val span_name : span -> string
 
 val span_children : span -> span list

@@ -1,0 +1,63 @@
+(* 8-byte big-endian length header + Marshal payload.  The header is fixed
+   width (not a varint) so a reader can always classify a short read: fewer
+   than 8 bytes at offset 0 is clean EOF or truncation, anything after that
+   is truncation. *)
+
+let header_len = 8
+
+(* 256 MiB.  Far above any real task or reply in this code base; small
+   enough that a corrupt header cannot trigger a giant allocation. *)
+let max_frame = 256 * 1024 * 1024
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let write fd v =
+  let payload = Marshal.to_bytes v [] in
+  let n = Bytes.length payload in
+  let frame = Bytes.create (header_len + n) in
+  Bytes.set_int64_be frame 0 (Int64.of_int n);
+  Bytes.blit payload 0 frame header_len n;
+  write_all fd frame 0 (header_len + n)
+
+(* Returns the number of bytes actually read: len on success, less on EOF. *)
+let read_all fd buf ofs0 len =
+  let rec go ofs remaining =
+    if remaining = 0 then len
+    else
+      let n =
+        try Unix.read fd buf ofs remaining
+        with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      if n = 0 then ofs - ofs0 (* EOF *)
+      else if n < 0 then go ofs remaining (* EINTR *)
+      else go (ofs + n) (remaining - n)
+  in
+  go ofs0 len
+
+let read fd =
+  let header = Bytes.create header_len in
+  match read_all fd header 0 header_len with
+  | 0 -> Error `Eof
+  | n when n < header_len ->
+      Error (`Error (Printf.sprintf "truncated frame header (%d of %d bytes)" n header_len))
+  | _ -> (
+      let len64 = Bytes.get_int64_be header 0 in
+      if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_frame) > 0 then
+        Error (`Error (Printf.sprintf "corrupt frame header (length %Ld)" len64))
+      else
+        let len = Int64.to_int len64 in
+        let payload = Bytes.create len in
+        match read_all fd payload 0 len with
+        | n when n < len ->
+            Error (`Error (Printf.sprintf "truncated frame payload (%d of %d bytes)" n len))
+        | _ -> (
+            match Marshal.from_bytes payload 0 with
+            | v -> Ok v
+            | exception Failure msg -> Error (`Error ("unmarshal failure: " ^ msg))))

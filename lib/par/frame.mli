@@ -1,0 +1,24 @@
+(** Length-prefixed marshalled frames over a pipe.
+
+    The wire format of the worker pool ({!Pool}): every task and reply is one
+    frame — an 8-byte big-endian payload length followed by the payload,
+    [Marshal.to_bytes v []].  The length prefix lets the reader distinguish a
+    clean shutdown (EOF on a frame boundary) from a crash mid-frame, which is
+    what turns a dead worker into an isolated per-task error instead of a
+    wedged pool. *)
+
+val max_frame : int
+(** Sanity cap on the payload length (bytes).  A header announcing more than
+    this is treated as stream corruption, not an allocation request. *)
+
+val write : Unix.file_descr -> 'a -> unit
+(** Marshal [v] and write one frame, looping over partial writes and
+    retrying [EINTR].  Raises [Unix.Unix_error] — notably [EPIPE] when the
+    peer died — which the pool maps to a task-level error. *)
+
+val read : Unix.file_descr -> ('a, [ `Eof | `Error of string ]) result
+(** Read one frame.  [`Eof] only on end-of-stream at a frame boundary (the
+    peer shut down cleanly); truncation inside a frame, a corrupt header, or
+    an unmarshalling failure is [`Error].  The ['a] is whatever the writer
+    marshalled — the caller must know the protocol; a type mismatch is
+    undefined behaviour exactly as with [Marshal]. *)

@@ -1,0 +1,58 @@
+(** Fork-based worker pool: shard a list of tasks across [N] processes.
+
+    {!run} forks [min jobs (length tasks)] workers, each a child process
+    that inherited the worker function by [fork] (so the function itself is
+    never marshalled — only tasks and results cross the pipe, as
+    length-prefixed {!Frame}s).  The parent hands out tasks one at a time,
+    so a slow task never blocks the queue behind a fixed pre-partition.
+
+    Isolation is per task: a worker that raises returns [Error (Exception _)]
+    for that task and keeps serving; a worker that dies (segfault, [exit],
+    kill) or outlives [task_timeout_ms] costs exactly the task it was
+    running — [Error (Crashed _)] / [Error (Timed_out _)] — and a
+    replacement worker is forked for the remaining queue.  This mirrors the
+    solver's own graceful degradation: a lost task degrades its own site,
+    never the batch.
+
+    Results are returned in task order regardless of scheduling, which is
+    what makes the batch front-end's [--json] output byte-stable across
+    [-j N].
+
+    Observability crosses the process boundary with the results: each reply
+    carries the worker's {!Dml_obs.Metrics.export} for that task (absorbed
+    into the parent registry) and its completed trace spans (adopted at the
+    parent's current position) — [--profile] and [--trace] account for all
+    solver work wherever it ran. *)
+
+type error =
+  | Exception of string  (** the worker function raised; payload is the exception text *)
+  | Crashed of string  (** the worker process died mid-task; payload describes its fate *)
+  | Timed_out of float  (** the task outlived [task_timeout_ms]; payload is elapsed seconds *)
+
+type 'r outcome = ('r, error) result
+
+val error_to_string : error -> string
+
+val cpu_count : unit -> int
+(** Available cores as the runtime sees them (the [-j] default). *)
+
+val run :
+  ?jobs:int ->
+  ?task_timeout_ms:int ->
+  worker:('task -> 'result) ->
+  'task list ->
+  'result outcome list
+(** [run ~jobs ~worker tasks] — one outcome per task, in task order.
+
+    [jobs] defaults to {!cpu_count}; it is clamped to [1..length tasks].
+    With [jobs = 1] the pool still forks (one worker): the execution model —
+    and thus crash isolation and marshalling constraints — is identical at
+    every [-j], which is what the sequential-vs-parallel oracle tests rely
+    on.  [task_timeout_ms] is a per-task wall-clock watchdog enforced by the
+    parent with [SIGKILL]; leave it unset for trusted task bodies that
+    enforce their own budgets.
+
+    Tasks and results must be marshallable plain data (no closures, no
+    custom blocks).  The worker function runs in a forked child: mutations
+    it makes to global state are invisible to the parent except through the
+    metrics/trace channel described above. *)

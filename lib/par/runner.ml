@@ -1,0 +1,261 @@
+open Dml_core
+module Json = Dml_obs.Json
+module Cache = Dml_cache.Cache
+module Solver = Dml_solver.Solver
+module Loc = Dml_lang.Loc
+
+type target = { tg_name : string; tg_source : (string, string) result }
+
+type obligation_row = { or_what : string; or_loc : string; or_verdict : string }
+
+type summary = {
+  sm_valid : bool;
+  sm_constraints : int;
+  sm_residual : int;
+  sm_timeouts : int;
+  sm_goals : int;
+  sm_cache_hits : int;
+  sm_cache_misses : int;
+  sm_gen_s : float;
+  sm_solve_s : float;
+  sm_obligations : obligation_row list;
+}
+
+type row = { row_name : string; row_result : (summary, string) result }
+
+type mode = Sequential | Workers of int
+
+let summarize (rp : Pipeline.report) =
+  let obligation_rows =
+    List.map
+      (fun (co : Pipeline.checked_obligation) ->
+        {
+          or_what = co.co_obligation.Elab.ob_what;
+          or_loc = Format.asprintf "%a" Loc.pp co.co_obligation.Elab.ob_loc;
+          or_verdict = Solver.verdict_slug co.co_verdict;
+        })
+      rp.rp_obligations
+  in
+  {
+    sm_valid = rp.rp_valid;
+    sm_constraints = rp.rp_constraints;
+    sm_residual = rp.rp_residual;
+    sm_timeouts = rp.rp_timeouts;
+    sm_goals = rp.rp_solver_stats.Solver.checked_goals;
+    sm_cache_hits = rp.rp_solver_stats.Solver.cache_hits;
+    sm_cache_misses = rp.rp_solver_stats.Solver.cache_misses;
+    sm_gen_s = rp.rp_gen_time;
+    sm_solve_s = rp.rp_solve_time;
+    sm_obligations = obligation_rows;
+  }
+
+let check_one ?config ?cache target =
+  match target.tg_source with
+  | Error msg -> Error msg
+  | Ok src -> (
+      match Pipeline.check ?config ?cache src with
+      | Ok rp -> Ok (summarize rp)
+      | Error f -> Error (Pipeline.failure_to_string f))
+
+(* Test-only fault injection, keyed by program name through the environment
+   (the variables survive the fork): lets the oracle tests provoke a worker
+   crash or hang on one specific task without touching the checker. *)
+let test_injection name =
+  (match Sys.getenv_opt "DML_PAR_TEST_CRASH" with
+  | Some n when n = name -> Unix._exit 66
+  | _ -> ());
+  match Sys.getenv_opt "DML_PAR_TEST_HANG" with
+  | Some n when n = name ->
+      let rec hang () =
+        Unix.sleep 3600;
+        hang ()
+      in
+      hang ()
+  | _ -> ()
+
+(* Deterministic degradation strings: no pid, signal number or timing may
+   leak into a row, or [-j N] output would not be byte-stable. *)
+let error_of_pool_failure = function
+  | Pool.Exception msg -> "internal error: " ^ msg
+  | Pool.Crashed _ -> "worker crashed"
+  | Pool.Timed_out _ -> "worker timed out"
+
+(* ------------------------------------------------------------------ *)
+(* Program sharding: one task = one whole program                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
+  (* Each worker builds its own cache on first use *after* the fork, from
+     the shared config: the memo LRU is private per process, while a
+     [dir] is shared through the store's atomic tmp-rename writes. *)
+  let worker_cache = lazy (Option.map (fun c -> Cache.create ~config:c ()) cache) in
+  let worker target =
+    test_injection target.tg_name;
+    check_one ?config ?cache:(Lazy.force worker_cache) target
+  in
+  let outcomes = Pool.run ~jobs ?task_timeout_ms ~worker targets in
+  List.map2
+    (fun target outcome ->
+      {
+        row_name = target.tg_name;
+        row_result =
+          (match outcome with
+          | Ok r -> r
+          | Error e -> Error (error_of_pool_failure e));
+      })
+    targets outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Obligation sharding: one task = one proof obligation                *)
+(* ------------------------------------------------------------------ *)
+
+let run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
+  let config_v = Option.value config ~default:Pipeline.default_config in
+  (* the pool watchdog backs up the in-process budget: a worker that fails
+     to honour its own deadline is reclaimed a grace period later *)
+  let task_timeout_ms =
+    match task_timeout_ms with
+    | Some _ as t -> t
+    | None -> Option.map (fun ms -> ms + 2000) config_v.Pipeline.sc_timeout_ms
+  in
+  (* front end in the parent: cheap relative to solving, and it keeps every
+     elaboration-order id assignment identical to the sequential run *)
+  let fronts =
+    List.map
+      (fun target ->
+        ( target.tg_name,
+          match target.tg_source with
+          | Error msg -> Error msg
+          | Ok src -> (
+              match Pipeline.frontend src with
+              | Ok fe -> Ok fe
+              | Error f -> Error (Pipeline.failure_to_string f)) ))
+      targets
+  in
+  let tasks =
+    List.concat
+      (List.mapi
+         (fun pi (_, front) ->
+           match front with
+           | Error _ -> []
+           | Ok fe -> List.map (fun ob -> (pi, ob)) fe.Pipeline.fe_obligations)
+         fronts)
+  in
+  let worker_cache = lazy (Option.map (fun c -> Cache.create ~config:c ()) cache) in
+  let worker (_pi, ob) =
+    let stats = Solver.new_stats () in
+    let co =
+      Pipeline.solve_obligation ~config:config_v ~stats ?cache:(Lazy.force worker_cache) ob
+    in
+    (co.Pipeline.co_verdict, co.Pipeline.co_time, stats)
+  in
+  let outcomes = Pool.run ~jobs ?task_timeout_ms ~worker tasks in
+  (* regroup in input order: tasks were flattened in program order, so a
+     simple partition by program index rebuilds each obligation list in
+     generation order *)
+  let solved = List.combine tasks outcomes in
+  List.mapi
+    (fun pi (name, front) ->
+      match front with
+      | Error msg -> { row_name = name; row_result = Error msg }
+      | Ok fe ->
+          let stats = Solver.new_stats () in
+          let cos =
+            List.filter_map
+              (fun (((tpi, ob), outcome) : (int * Elab.obligation) * _) ->
+                if tpi <> pi then None
+                else
+                  let verdict, time =
+                    match outcome with
+                    | Ok (v, t, (wstats : Solver.stats)) ->
+                        Solver.merge_stats ~into:stats wstats;
+                        (v, t)
+                    | Error (Pool.Timed_out _) ->
+                        stats.Solver.timeouts <- stats.Solver.timeouts + 1;
+                        (Solver.Timeout "worker deadline", 0.)
+                    | Error (Pool.Crashed _) -> (Solver.Unsupported "worker crashed", 0.)
+                    | Error (Pool.Exception msg) ->
+                        (Solver.Unsupported ("worker exception: " ^ msg), 0.)
+                  in
+                  Some
+                    {
+                      Pipeline.co_obligation = ob;
+                      co_verdict = verdict;
+                      co_time = time;
+                    })
+              solved
+          in
+          let solve_time =
+            List.fold_left (fun acc co -> acc +. co.Pipeline.co_time) 0. cos
+          in
+          let rp = Pipeline.assemble ~stats ~solve_time fe cos in
+          { row_name = name; row_result = Ok (summarize rp) })
+    fronts
+
+(* ------------------------------------------------------------------ *)
+(* Front door                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_targets ?(mode = Sequential) ?(shard_obligations = false) ?task_timeout_ms
+    ?config ?cache targets =
+  match mode with
+  | Sequential ->
+      let cache = Option.map (fun c -> Cache.create ~config:c ()) cache in
+      List.map
+        (fun t -> { row_name = t.tg_name; row_result = check_one ?config ?cache t })
+        targets
+  | Workers jobs ->
+      if shard_obligations then
+        run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets
+      else run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic JSON                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Only schedule-independent fields: verdict-derived counts, never times,
+   cache hit rates or worker identities.  This is what makes the document
+   byte-identical across [-j 1] / [-j N] / [--shard-obligations]. *)
+let row_json r =
+  match r.row_result with
+  | Ok s ->
+      Json.Obj
+        [
+          ("program", Json.String r.row_name);
+          ("valid", Json.Bool s.sm_valid);
+          ("constraints", Json.Int s.sm_constraints);
+          ("goals", Json.Int s.sm_goals);
+          ("residual", Json.Int s.sm_residual);
+        ]
+  | Error e -> Json.Obj [ ("program", Json.String r.row_name); ("error", Json.String e) ]
+
+let rows_json rows = List.map row_json rows
+
+let aggregate_json rows =
+  let ok = List.filter_map (fun r -> Result.to_option r.row_result) rows in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 ok in
+  Json.Obj
+    [
+      ("programs", Json.Int (List.length rows));
+      ("failed", Json.Int (List.length rows - List.length ok));
+      ("constraints", Json.Int (sum (fun s -> s.sm_constraints)));
+      ("goals", Json.Int (sum (fun s -> s.sm_goals)));
+      ("residual", Json.Int (sum (fun s -> s.sm_residual)));
+    ]
+
+let batch_json ~passes =
+  Json.Obj
+    [
+      ("schema", Json.String "dml-batch/1");
+      ( "passes",
+        Json.List
+          (List.mapi
+             (fun i rows ->
+               Json.Obj
+                 [
+                   ("pass", Json.Int (i + 1));
+                   ("programs", Json.List (rows_json rows));
+                   ("aggregate", aggregate_json rows);
+                 ])
+             passes) );
+    ]

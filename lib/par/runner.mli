@@ -1,0 +1,89 @@
+(** The parallel batch front-end: check many programs with {!Pool} workers.
+
+    Two sharding grains:
+
+    - {e program sharding} (the default under [Workers n]): each task is one
+      whole program; a worker runs the full {!Dml_core.Pipeline.check} on it
+      against its own verdict cache (built lazily in the worker from the
+      shared cache {e config}, so a [--cache-dir] is shared through the
+      filesystem's atomic writes while the in-memory LRU stays per-worker);
+    - {e obligation sharding} ([~shard_obligations:true]): the parent runs
+      the front end (parse/infer/elaborate) for every program, flattens the
+      proof obligations of the whole batch into one task list, and workers
+      decide individual obligations — the grain that balances a batch
+      dominated by one constraint-heavy program.  The parent merges the
+      shipped-back {!Dml_solver.Solver.stats} with
+      {!Dml_solver.Solver.merge_stats} and reassembles each program's report
+      with {!Dml_core.Pipeline.assemble}.
+
+    Worker loss maps onto the solver's graceful-degradation verdicts: a
+    crashed or expired program task becomes that row's error; a crashed
+    obligation task becomes [Unsupported "worker crashed"] and an expired
+    one [Timeout "worker deadline"] — exactly an unproven site, never a lost
+    batch.
+
+    Determinism: {!check_targets} returns rows in input order whatever the
+    scheduling, and {!rows_json}/{!batch_json} serialize only
+    schedule-independent fields (verdict counts, not wall-clock times or
+    cache hit rates), so the [dml-batch/1] document is byte-identical across
+    [-j 1] / [-j N] / [--shard-obligations].  Volatile figures stay
+    available in {!summary} for the human-readable table. *)
+
+type target = {
+  tg_name : string;
+  tg_source : (string, string) result;
+      (** program text, or the error that prevented reading it *)
+}
+
+type obligation_row = {
+  or_what : string;
+  or_loc : string;
+  or_verdict : string;  (** {!Dml_solver.Solver.verdict_slug} — no detail payload,
+                            which keeps rows comparable across processes *)
+}
+
+type summary = {
+  sm_valid : bool;
+  sm_constraints : int;
+  sm_residual : int;
+  sm_timeouts : int;
+  sm_goals : int;  (** solver goals decided, cache hits included *)
+  sm_cache_hits : int;
+  sm_cache_misses : int;
+  sm_gen_s : float;
+  sm_solve_s : float;  (** aggregate solver seconds (the sum over obligations
+                           under obligation sharding) *)
+  sm_obligations : obligation_row list;  (** in generation order *)
+}
+
+type row = { row_name : string; row_result : (summary, string) result }
+
+type mode =
+  | Sequential  (** in-process, no forking: the reference the oracle tests compare against *)
+  | Workers of int  (** a {!Pool} of this many forked workers *)
+
+val check_targets :
+  ?mode:mode ->
+  ?shard_obligations:bool ->
+  ?task_timeout_ms:int ->
+  ?config:Dml_core.Pipeline.solve_config ->
+  ?cache:Dml_cache.Cache.config ->
+  target list ->
+  row list
+(** One row per target, in target order.  [mode] defaults to [Sequential];
+    [shard_obligations] only changes the behaviour of [Workers _].
+    [task_timeout_ms] is the pool watchdog for one task (a whole program, or
+    one obligation when sharding); under obligation sharding it defaults to
+    the config's per-obligation deadline plus a grace period, so a worker
+    whose in-process budget fails to fire still cannot wedge the batch. *)
+
+val rows_json : row list -> Dml_obs.Json.t list
+(** Deterministic per-program rows:
+    [{"program", "valid", "constraints", "goals", "residual"}] or
+    [{"program", "error"}]. *)
+
+val aggregate_json : row list -> Dml_obs.Json.t
+(** [{"programs", "failed", "constraints", "goals", "residual"}]. *)
+
+val batch_json : passes:row list list -> Dml_obs.Json.t
+(** The full deterministic [dml-batch/1] document. *)

@@ -143,7 +143,7 @@ let table23 backend ~scale =
 
 (* --- printing ------------------------------------------------------------------ *)
 
-let print_table1 fmt () =
+let print_table1_rows fmt rows =
   Format.fprintf fmt "Table 1: constraint generation/solution (cf. paper Table 1)@.";
   Format.fprintf fmt "%-14s %11s %9s %9s %7s %11s %10s@." "program" "constraints" "gen(s)"
     "solve(s)" "annots" "annot-lines" "code-lines";
@@ -154,9 +154,11 @@ let print_table1 fmt () =
       | Ok r ->
           Format.fprintf fmt "%-14s %11d %9.4f %9.4f %7d %11d %10d@." r.t1_name r.t1_constraints
             r.t1_gen_s r.t1_solve_s r.t1_annotations r.t1_annotation_lines r.t1_code_lines)
-    (table1 ())
+    rows
 
-let print_table23 fmt backend ~scale =
+let print_table1 fmt () = print_table1_rows fmt (table1 ())
+
+let print_table23_rows fmt backend ~scale rows =
   Format.fprintf fmt "Table %s: effect of eliminating array bound checks@."
     (match backend with Cost_model -> "2" | Compiled -> "3");
   Format.fprintf fmt "backend: %s, scale: %d@." (backend_name backend) scale;
@@ -179,4 +181,7 @@ let print_table23 fmt backend ~scale =
           Format.fprintf fmt "%-14s %12.3f %12.3f %6.1f%% %12d %10d%s@." r.t23_name
             r.t23_checked_s r.t23_unchecked_s r.t23_gain_pct r.t23_eliminated r.t23_residual
             paper_gain)
-    Programs.table_benchmarks (table23 backend ~scale)
+    Programs.table_benchmarks rows
+
+let print_table23 fmt backend ~scale =
+  print_table23_rows fmt backend ~scale (table23 backend ~scale)

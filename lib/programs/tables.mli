@@ -52,3 +52,11 @@ val table23 : backend -> scale:int -> (t23_row, string) result list
 
 val print_table1 : Format.formatter -> unit -> unit
 val print_table23 : Format.formatter -> backend -> scale:int -> unit
+
+val print_table1_rows : Format.formatter -> (t1_row, string) result list -> unit
+(** {!print_table1} on precomputed rows — the parallel [table1 -j] path
+    computes rows in worker processes and prints them here. *)
+
+val print_table23_rows :
+  Format.formatter -> backend -> scale:int -> (t23_row, string) result list -> unit
+(** Rows must align with {!Programs.table_benchmarks} (same order/length). *)

@@ -46,6 +46,21 @@ let new_stats () =
     cache_misses = 0;
   }
 
+let merge_stats ~into (s : stats) =
+  into.checked_goals <- into.checked_goals + s.checked_goals;
+  into.disjuncts <- into.disjuncts + s.disjuncts;
+  into.solve_time <- into.solve_time +. s.solve_time;
+  into.timeouts <- into.timeouts + s.timeouts;
+  into.escalations <- into.escalations + s.escalations;
+  into.cache_hits <- into.cache_hits + s.cache_hits;
+  into.cache_misses <- into.cache_misses + s.cache_misses;
+  let fm = into.fm and fm' = s.fm in
+  fm.Fourier.eliminations <- fm.Fourier.eliminations + fm'.Fourier.eliminations;
+  fm.Fourier.combinations <- fm.Fourier.combinations + fm'.Fourier.combinations;
+  fm.Fourier.max_constraints <- max fm.Fourier.max_constraints fm'.Fourier.max_constraints;
+  if Bigint.compare fm'.Fourier.max_coeff fm.Fourier.max_coeff > 0 then
+    fm.Fourier.max_coeff <- fm'.Fourier.max_coeff
+
 let negation_formula (g : Constr.goal) =
   Idx.band (Idx.conj g.goal_hyps) (Idx.bnot g.goal_concl)
 

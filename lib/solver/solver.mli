@@ -50,6 +50,16 @@ type stats = {
 
 val new_stats : unit -> stats
 
+val merge_stats : into:stats -> stats -> unit
+(** Add a second stats record into [into]: counts and times add, Fourier
+    high-water marks take the maximum.  Used by the parallel executor to
+    fold the per-task records shipped back from worker processes into one
+    per-program view. *)
+
+val method_slug : method_ -> string
+(** Machine-readable method tag (["fm"], ["fm-plain"], ["simplex"]), the
+    same strings the verdict cache keys and the CLI's [--solver] accept. *)
+
 val check_goal :
   ?method_:method_ ->
   ?stats:stats ->

@@ -288,6 +288,31 @@ let test_cache_level_corruption () =
   Alcotest.(check int) "snapshot reports the corruption" 1
     (Cache.snapshot c2).Cache.s_corrupt
 
+(* Regression: the temp-file name must be unique per in-flight write even
+   within one process — a pid-only suffix collides when two tasks of the
+   same process write the same key, one renaming the other's half-written
+   file into place.  The fault-injection hook runs while the temp file is
+   open, so [readdir] observes each write's temp name. *)
+let test_tmp_names_unique () =
+  let dir = temp_dir () in
+  let s = Store.create ~dir () in
+  let seen = ref [] in
+  let capture _oc =
+    Array.iter
+      (fun f -> if not (Filename.check_suffix f ".dmlv") then seen := f :: !seen)
+      (Sys.readdir dir)
+  in
+  Store.write_fault_injection := capture;
+  Fun.protect
+    ~finally:(fun () -> Store.write_fault_injection := (fun _ -> ()))
+    (fun () ->
+      Store.add s "k" (entry 1 Store.Valid);
+      Store.add s "k" (entry 1 Store.Valid));
+  match !seen with
+  | [ b; a ] ->
+      Alcotest.(check bool) "temp names of successive writes differ" true (a <> b)
+  | l -> Alcotest.failf "expected two temp files over two writes, saw %d" (List.length l)
+
 (* --- solver integration ------------------------------------------------------- *)
 
 let test_solver_hits () =
@@ -409,6 +434,7 @@ let () =
           Alcotest.test_case "truncation" `Quick test_truncation_is_a_miss;
           Alcotest.test_case "foreign file" `Quick test_foreign_file_is_a_miss;
           Alcotest.test_case "cache-level corruption" `Quick test_cache_level_corruption;
+          Alcotest.test_case "unique temp names" `Quick test_tmp_names_unique;
         ] );
       ( "solver",
         [

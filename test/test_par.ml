@@ -1,0 +1,312 @@
+(* The parallel executor: pool semantics (ordering, isolation of worker
+   exceptions, crashes and hangs, observability aggregation) and the
+   sequential-vs-parallel oracle — every sharding mode must produce the same
+   verdicts, degradation sites and JSON bytes as the in-process reference,
+   including under injected worker crashes and timeouts. *)
+
+open Dml_index
+open Dml_constr
+open Dml_par
+module Json = Dml_obs.Json
+module Metrics = Dml_obs.Metrics
+module Trace = Dml_obs.Trace
+module Solver = Dml_solver.Solver
+module Programs = Dml_programs.Programs
+
+(* --- pool unit tests -------------------------------------------------------- *)
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "task failed: %s" (Pool.error_to_string e)
+
+let test_empty () =
+  Alcotest.(check int) "no tasks, no outcomes" 0
+    (List.length (Pool.run ~worker:(fun () -> ()) []))
+
+let test_order_preserved () =
+  let tasks = List.init 50 (fun i -> i) in
+  let outcomes = Pool.run ~jobs:4 ~worker:(fun i -> i * i) tasks in
+  Alcotest.(check (list int))
+    "results in task order regardless of scheduling"
+    (List.map (fun i -> i * i) tasks)
+    (List.map ok_or_fail outcomes)
+
+let test_many_tasks_few_workers () =
+  let tasks = List.init 100 string_of_int in
+  let outcomes = Pool.run ~jobs:2 ~worker:(fun s -> s ^ "!") tasks in
+  Alcotest.(check (list string))
+    "100 tasks through 2 workers"
+    (List.map (fun s -> s ^ "!") tasks)
+    (List.map ok_or_fail outcomes)
+
+let test_worker_exception () =
+  let outcomes =
+    Pool.run ~jobs:2
+      ~worker:(fun i -> if i = 3 then failwith "boom" else i)
+      (List.init 6 Fun.id)
+  in
+  List.iteri
+    (fun i o ->
+      match o with
+      | Ok v -> Alcotest.(check int) "untouched task" i v
+      | Error (Pool.Exception msg) ->
+          Alcotest.(check int) "only the raising task errors" 3 i;
+          Alcotest.(check bool) "exception text shipped back" true
+            (String.length msg > 0)
+      | Error e -> Alcotest.failf "unexpected outcome: %s" (Pool.error_to_string e))
+    outcomes
+
+(* a worker that exits mid-task costs exactly that task; the pool respawns
+   and the rest of the queue completes *)
+let test_crash_isolation () =
+  let outcomes =
+    Pool.run ~jobs:2
+      ~worker:(fun i -> if i = 2 then Unix._exit 42 else i)
+      (List.init 8 Fun.id)
+  in
+  List.iteri
+    (fun i o ->
+      match o with
+      | Ok v -> Alcotest.(check int) "untouched task" i v
+      | Error (Pool.Crashed _) -> Alcotest.(check int) "only the exiting task dies" 2 i
+      | Error e -> Alcotest.failf "unexpected outcome: %s" (Pool.error_to_string e))
+    outcomes
+
+let test_sigkill_isolation () =
+  let outcomes =
+    Pool.run ~jobs:2
+      ~worker:(fun i ->
+        if i = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        i)
+      (List.init 4 Fun.id)
+  in
+  List.iteri
+    (fun i o ->
+      match o with
+      | Ok v -> Alcotest.(check int) "untouched task" i v
+      | Error (Pool.Crashed _) -> Alcotest.(check int) "only the killed task dies" 1 i
+      | Error e -> Alcotest.failf "unexpected outcome: %s" (Pool.error_to_string e))
+    outcomes
+
+let test_watchdog_timeout () =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.run ~jobs:2 ~task_timeout_ms:300
+      ~worker:(fun i ->
+        if i = 0 then Unix.sleep 3600;
+        i)
+      (List.init 4 Fun.id)
+  in
+  (match List.hd outcomes with
+  | Error (Pool.Timed_out s) ->
+      Alcotest.(check bool) "elapsed at least the deadline" true (s >= 0.25)
+  | o ->
+      Alcotest.failf "hung task should time out, got %s"
+        (match o with Ok _ -> "Ok" | Error e -> Pool.error_to_string e));
+  List.iteri (fun i o -> if i > 0 then Alcotest.(check int) "other tasks" i (ok_or_fail o)) outcomes;
+  Alcotest.(check bool) "watchdog bounds the wall clock" true
+    (Unix.gettimeofday () -. t0 < 20.)
+
+let test_metrics_aggregated () =
+  let c = Metrics.counter "test.par.tasks" in
+  let before = Metrics.value c in
+  let outcomes =
+    Pool.run ~jobs:3
+      ~worker:(fun i ->
+        Metrics.incr ~by:i c;
+        i)
+      (List.init 10 Fun.id)
+  in
+  List.iter (fun o -> ignore (ok_or_fail o)) outcomes;
+  Alcotest.(check int) "parent registry absorbed every worker increment" (before + 45)
+    (Metrics.value c)
+
+let test_spans_adopted () =
+  let sink = Trace.create_sink () in
+  Trace.set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      let outcomes =
+        Pool.run ~jobs:2
+          ~worker:(fun i -> Trace.with_span "wtask" (fun _ -> i))
+          (List.init 6 Fun.id)
+      in
+      List.iter (fun o -> ignore (ok_or_fail o)) outcomes);
+  Alcotest.(check int) "one adopted worker span per task" 6
+    (List.length
+       (List.filter (fun sp -> Trace.span_name sp = "wtask") (Trace.roots sink)))
+
+(* --- solver goals through the pool ------------------------------------------- *)
+
+(* a small mixed family (valid and not) of marshalled goals: the pooled
+   verdict slugs must equal the in-process solver's *)
+let goal_family () =
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          let x = Ivar.fresh "x" in
+          let g concl =
+            {
+              Constr.goal_vars = [ (x, Idx.Sint) ];
+              goal_hyps = [ Idx.Bcmp (Idx.Rge, Idx.Ivar x, Idx.Iconst a) ];
+              goal_concl = concl;
+            }
+          in
+          [
+            g (Idx.Bcmp (Idx.Rge, Idx.Ivar x, Idx.Iconst (a - b)));
+            g (Idx.Bcmp (Idx.Rle, Idx.Ivar x, Idx.Iconst (a + b)));
+          ])
+        [ 0; 1; 2; 3; 4 ])
+    [ 0; 1; 2; 3; 4 ]
+
+let test_goal_batch_oracle () =
+  let goals = goal_family () in
+  let seq = List.map (fun g -> Solver.verdict_slug (Solver.check_goal g)) goals in
+  let par =
+    Pool.run ~jobs:4 ~worker:(fun g -> Solver.verdict_slug (Solver.check_goal g)) goals
+    |> List.map ok_or_fail
+  in
+  Alcotest.(check (list string)) "pooled goal verdicts match sequential" seq par
+
+(* --- the runner oracle -------------------------------------------------------- *)
+
+let corpus_targets () =
+  List.map
+    (fun (b : Programs.benchmark) ->
+      { Runner.tg_name = b.Programs.name; tg_source = Ok b.Programs.source })
+    Programs.all
+
+(* the schedule-independent projection of a row: verdict-derived fields and
+   per-obligation slugs/locations, but no times and no cache-topology
+   figures (a shared sequential cache and per-worker caches legitimately
+   differ on hit counts) *)
+let proj_row (r : Runner.row) =
+  match r.Runner.row_result with
+  | Error e -> Printf.sprintf "%s ERROR %s" r.Runner.row_name e
+  | Ok s ->
+      Printf.sprintf "%s valid=%b cons=%d resid=%d timeouts=%d goals=%d obs=[%s]"
+        r.Runner.row_name s.Runner.sm_valid s.Runner.sm_constraints s.Runner.sm_residual
+        s.Runner.sm_timeouts s.Runner.sm_goals
+        (String.concat "; "
+           (List.map
+              (fun (o : Runner.obligation_row) ->
+                Printf.sprintf "%s@%s:%s" o.Runner.or_what o.Runner.or_loc
+                  o.Runner.or_verdict)
+              s.Runner.sm_obligations))
+
+let doc_bytes rows = Json.to_string_pretty (Runner.batch_json ~passes:[ rows ])
+
+let test_corpus_oracle () =
+  let targets = corpus_targets () in
+  let cache = Dml_cache.Cache.default_config in
+  let run mode shard = Runner.check_targets ~mode ~shard_obligations:shard ~cache targets in
+  let base = run Runner.Sequential false in
+  let base_proj = List.map proj_row base in
+  let base_json = doc_bytes base in
+  Alcotest.(check bool) "corpus checks under the reference" true
+    (List.for_all (fun r -> Result.is_ok r.Runner.row_result) base);
+  let modes =
+    [
+      ("j1", Runner.Workers 1, false);
+      ("j4", Runner.Workers 4, false);
+      ("jnproc", Runner.Workers (Pool.cpu_count ()), false);
+      ("j2-obligations", Runner.Workers 2, true);
+    ]
+    @
+    (* CI exports DML_PAR_JOBS to pin an extra width into the oracle *)
+    match Sys.getenv_opt "DML_PAR_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> [ ("env-j" ^ s, Runner.Workers n, false) ]
+        | _ -> [])
+    | None -> []
+  in
+  List.iter
+    (fun (label, mode, shard) ->
+      let rows = run mode shard in
+      Alcotest.(check (list string)) (label ^ ": rows") base_proj (List.map proj_row rows);
+      Alcotest.(check string) (label ^ ": JSON bytes") base_json (doc_bytes rows))
+    modes
+
+let with_env var value f =
+  Unix.putenv var value;
+  (* unset is not portable; the empty string never matches a program name *)
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+
+let test_injected_crash () =
+  let targets = corpus_targets () in
+  with_env "DML_PAR_TEST_CRASH" "queen" (fun () ->
+      let r1 = Runner.check_targets ~mode:(Runner.Workers 1) targets in
+      let r4 = Runner.check_targets ~mode:(Runner.Workers 4) targets in
+      List.iter
+        (fun rows ->
+          let crashed = List.find (fun r -> r.Runner.row_name = "queen") rows in
+          Alcotest.(check bool) "injected program degrades to an error row" true
+            (crashed.Runner.row_result = Error "worker crashed");
+          Alcotest.(check int) "every other program still checks"
+            (List.length targets - 1)
+            (List.length (List.filter (fun r -> Result.is_ok r.Runner.row_result) rows)))
+        [ r1; r4 ];
+      Alcotest.(check string) "degraded JSON identical across -j" (doc_bytes r1)
+        (doc_bytes r4))
+
+let test_injected_hang () =
+  let targets = corpus_targets () in
+  let t0 = Unix.gettimeofday () in
+  with_env "DML_PAR_TEST_HANG" "list access" (fun () ->
+      let rows =
+        Runner.check_targets ~mode:(Runner.Workers 2) ~task_timeout_ms:500 targets
+      in
+      let hung = List.find (fun r -> r.Runner.row_name = "list access") rows in
+      Alcotest.(check bool) "hung program degrades to a timeout row" true
+        (hung.Runner.row_result = Error "worker timed out");
+      Alcotest.(check int) "every other program still checks"
+        (List.length targets - 1)
+        (List.length (List.filter (fun r -> Result.is_ok r.Runner.row_result) rows)));
+  Alcotest.(check bool) "watchdog bounds the batch" true
+    (Unix.gettimeofday () -. t0 < 30.)
+
+(* a front-end failure is diagnosed in the parent under obligation sharding
+   and in a worker under program sharding — same row either way *)
+let test_failure_rows_match () =
+  let targets =
+    corpus_targets ()
+    @ [
+        { Runner.tg_name = "bad"; tg_source = Ok "fun f(x) = (" };
+        { Runner.tg_name = "unreadable"; tg_source = Error "no such file" };
+      ]
+  in
+  let seq = Runner.check_targets ~mode:Runner.Sequential targets in
+  let j2 = Runner.check_targets ~mode:(Runner.Workers 2) targets in
+  let sh = Runner.check_targets ~mode:(Runner.Workers 2) ~shard_obligations:true targets in
+  Alcotest.(check (list string)) "program-sharded failure rows"
+    (List.map proj_row seq) (List.map proj_row j2);
+  Alcotest.(check (list string)) "obligation-sharded failure rows"
+    (List.map proj_row seq) (List.map proj_row sh)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty task list" `Quick test_empty;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "more tasks than workers" `Quick test_many_tasks_few_workers;
+          Alcotest.test_case "worker exception" `Quick test_worker_exception;
+          Alcotest.test_case "crash isolation" `Quick test_crash_isolation;
+          Alcotest.test_case "sigkill isolation" `Quick test_sigkill_isolation;
+          Alcotest.test_case "watchdog timeout" `Quick test_watchdog_timeout;
+          Alcotest.test_case "metrics aggregated" `Quick test_metrics_aggregated;
+          Alcotest.test_case "spans adopted" `Quick test_spans_adopted;
+        ] );
+      ("goals", [ Alcotest.test_case "pooled solver oracle" `Quick test_goal_batch_oracle ]);
+      ( "runner",
+        [
+          Alcotest.test_case "corpus oracle" `Quick test_corpus_oracle;
+          Alcotest.test_case "injected crash" `Quick test_injected_crash;
+          Alcotest.test_case "injected hang" `Quick test_injected_hang;
+          Alcotest.test_case "failure rows" `Quick test_failure_rows_match;
+        ] );
+    ]
