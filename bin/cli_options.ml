@@ -1,0 +1,215 @@
+(* The one place the driver binaries parse their shared flags.
+
+   dmlc's subcommands, and dmld's serve front-end, all take the same knobs:
+   the per-obligation solver budget (--solver/--escalate/--fuel/--timeout-ms/
+   --max-elim), the verdict cache (--cache/--no-cache/--cache-dir/
+   --cache-entries), observability (--trace/--profile/--json), parallelism
+   (-j/--shard-obligations) and the strict/degrade switch.  Each used to
+   carry its own copy; they are defined once here and assembled into a
+   [Dml_core.Session.options] with [session_options]. *)
+
+open Cmdliner
+open Dml_core
+module J = Dml_obs.Json
+module Trace = Dml_obs.Trace
+module Metrics = Dml_obs.Metrics
+
+let read_source path_or_name =
+  match Dml_programs.Programs.find path_or_name with
+  | Some b -> Ok b.Dml_programs.Programs.source
+  | None -> (
+      try
+        let ic = open_in path_or_name in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Ok s
+      with Sys_error msg -> Error msg)
+
+let exit_err msg =
+  prerr_endline msg;
+  exit 1
+
+(* --- solver budget ----------------------------------------------------------- *)
+
+let solver_method =
+  let methods =
+    [
+      ("fm", Dml_solver.Solver.Fm_tightened);
+      ("fm-plain", Dml_solver.Solver.Fm_plain);
+      ("simplex", Dml_solver.Solver.Simplex_rational);
+    ]
+  in
+  let doc = "Constraint solver: fm (Fourier-Motzkin with integral tightening), fm-plain, simplex." in
+  Arg.(value & opt (enum methods) Dml_solver.Solver.Fm_tightened & info [ "solver" ] ~doc)
+
+(* Per-obligation solver budget and escalation; together with the method this
+   builds the session's solve_config. *)
+let solve_config =
+  let fuel =
+    let doc = "Solver fuel per obligation (abstract work units: DNF disjuncts, \
+               Fourier combinations, simplex pivots)." in
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
+  in
+  let timeout_ms =
+    let doc = "Wall-clock solver deadline per obligation, in milliseconds." in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_elim =
+    let doc = "Maximum Fourier-Motzkin variable eliminations per obligation." in
+    Arg.(value & opt (some int) None & info [ "max-elim" ] ~docv:"N" ~doc)
+  in
+  let escalate =
+    let doc = "Retry unproven goals with stronger methods (fm-plain, fm, simplex) \
+               under the remaining budget." in
+    Arg.(value & flag & info [ "escalate" ] ~doc)
+  in
+  let build sc_method sc_escalate sc_fuel sc_timeout_ms sc_max_eliminations =
+    { Session.sc_method; sc_escalate; sc_fuel; sc_timeout_ms; sc_max_eliminations }
+  in
+  Term.(const build $ solver_method $ escalate $ fuel $ timeout_ms $ max_elim)
+
+(* --- verdict cache ----------------------------------------------------------- *)
+
+(* [--cache-dir] implies caching; a bare [--cache] keeps the memo table
+   in-process only.  [cache_spec_term] yields the configuration (plain data:
+   what session options carry and worker pools ship); [cache_term] builds
+   the cache object for callers that share one across sessions. *)
+let cache_spec_term ~default_on =
+  let cache =
+    let doc = "Memoize solver verdicts: goals are canonicalized (alpha-renaming, \
+               conjunct order and linear-atom presentation are quotiented away) and \
+               repeated goals reuse their verdict instead of re-running the solver." in
+    Arg.(value & flag & info [ "cache" ] ~doc)
+  in
+  let no_cache =
+    let doc = "Disable the verdict cache (batch and dmld enable it by default)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let cache_dir =
+    let doc = "Persist cached verdicts under $(docv) so they survive across \
+               invocations (implies --cache).  Corrupt or truncated entries are \
+               detected and treated as misses." in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let cache_entries =
+    let doc = "Capacity of the in-memory verdict table; least-recently-used entries \
+               are evicted past $(docv) (0 = unbounded)." in
+    Arg.(value & opt int Dml_cache.Cache.default_config.Dml_cache.Cache.max_entries
+         & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let build enabled disabled dir entries =
+    let wanted = (not disabled) && (enabled || dir <> None || default_on) in
+    if not wanted then None else Some { Dml_cache.Cache.max_entries = entries; dir }
+  in
+  Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries)
+
+let cache_term ~default_on =
+  let build spec = Option.map (fun config -> Dml_cache.Cache.create ~config ()) spec in
+  Term.(const build $ cache_spec_term ~default_on)
+
+(* --- strict/degrade ---------------------------------------------------------- *)
+
+let degrade_flag =
+  let strict =
+    ( false,
+      Arg.info [ "strict" ]
+        ~doc:"Reject programs with unproven obligations (the default)." )
+  in
+  let degrade =
+    ( true,
+      Arg.info [ "degrade" ]
+        ~doc:
+          "Graceful degradation: accept programs with unproven obligations, keeping \
+           a dynamic bound check at exactly the unproven sites." )
+  in
+  Arg.(value & vflag false [ strict; degrade ])
+
+(* --- parallelism ------------------------------------------------------------- *)
+
+let jobs_term ~doc = Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let batch_jobs_term =
+  jobs_term
+    ~doc:
+      "Shard the work across $(docv) forked worker processes (0 = one per core).  \
+       Results are merged back in input order, so --json output is byte-identical \
+       to -j 1; a crashed or hung worker degrades only the task it was running."
+
+let shard_term =
+  Arg.(
+    value & flag
+    & info [ "shard-obligations" ]
+        ~doc:"Parallelize at the proof-obligation grain instead of whole programs: \
+              the front end runs in the parent and workers decide individual \
+              constraints (implies -j; balances batches dominated by one \
+              constraint-heavy program).")
+
+(* --- session assembly -------------------------------------------------------- *)
+
+let session_options ?(mode = Session.Strict) ?jobs ?(shard_obligations = false) ~solve
+    ~cache_spec () =
+  {
+    Session.op_solve = solve;
+    op_cache = cache_spec;
+    op_mode = mode;
+    op_jobs = jobs;
+    op_shard_obligations = shard_obligations;
+  }
+
+(* --- observability: --trace FILE, --profile, --json -------------------------- *)
+
+type obs = { ob_trace : string option; ob_profile : bool; ob_json : bool }
+
+let obs_term =
+  let trace =
+    let doc = "Write a structured trace to $(docv) (schema dml-trace/1, see \
+               DESIGN.md): nested spans for parse, infer, elaborate and every \
+               obligation and solver goal, with method, budget tier, cache status, \
+               verdict and monotonic wall-clock durations." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let profile =
+    let doc = "Dump the process metrics registry (named counters and histograms \
+               across solver, cache, pipeline and the eval backends) after the \
+               command; with $(b,--json) it is embedded as a \"metrics\" field." in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let json =
+    let doc = "Emit a machine-readable JSON report on stdout instead of the text \
+               output (schemas documented in DESIGN.md); implies span collection, so \
+               per-obligation solve spans are included." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let build ob_trace ob_profile ob_json = { ob_trace; ob_profile; ob_json } in
+  Term.(const build $ trace $ profile $ json)
+
+(* Tracing is enabled exactly while the traced work runs: spans are needed
+   for the trace file and for the JSON report's "spans" field. *)
+let with_sink obs f =
+  if obs.ob_trace = None && not obs.ob_json then (f (), None)
+  else begin
+    let sink = Trace.create_sink () in
+    Trace.set_sink (Some sink);
+    let result = Fun.protect ~finally:(fun () -> Trace.set_sink None) f in
+    (match obs.ob_trace with
+    | None -> ()
+    | Some file -> (
+        match J.write_file file (Trace.to_json sink) with
+        | Ok () -> ()
+        | Error msg -> prerr_endline ("cannot write trace file: " ^ msg)));
+    (result, Some sink)
+  end
+
+let emit_json v = print_endline (J.to_string_pretty v)
+
+(* the trailing report fields shared by every command: collected spans when
+   tracing ran, the metrics registry under --profile *)
+let obs_fields obs sink =
+  (match sink with
+  | Some sk when obs.ob_json ->
+      [ ("spans", J.List (List.map Trace.span_to_json (Trace.roots sk))) ]
+  | _ -> [])
+  @ if obs.ob_profile then [ ("metrics", Metrics.to_json ()) ] else []
+
+let profile_text obs = if obs.ob_profile && not obs.ob_json then Format.printf "%a" Metrics.pp ()

@@ -6,269 +6,20 @@
    - [dmlc run FILE NAME]    evaluate a program and print a binding
    - [dmlc table1]           regenerate the paper's Table 1
    - [dmlc table23]          regenerate Table 2 (interp) or 3 (compiled)
-   - [dmlc list]             list the bundled benchmark programs *)
+   - [dmlc list]             list the bundled benchmark programs
+
+   Shared flag parsing lives in [Cli_options]; every subcommand assembles a
+   [Dml_core.Session.t] from its flags and runs the pipeline through it.
+   The JSON documents are built by [Dml_core.Report_json] — the same
+   builders the dmld server uses, which is what keeps server responses
+   byte-identical to one-shot [--json] output. *)
 
 open Cmdliner
 open Dml_core
+open Cli_options
 module J = Dml_obs.Json
 module Trace = Dml_obs.Trace
 module Metrics = Dml_obs.Metrics
-
-let read_source path_or_name =
-  match Dml_programs.Programs.find path_or_name with
-  | Some b -> Ok b.Dml_programs.Programs.source
-  | None -> (
-      try
-        let ic = open_in path_or_name in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        Ok s
-      with Sys_error msg -> Error msg)
-
-let solver_method =
-  let methods =
-    [
-      ("fm", Dml_solver.Solver.Fm_tightened);
-      ("fm-plain", Dml_solver.Solver.Fm_plain);
-      ("simplex", Dml_solver.Solver.Simplex_rational);
-    ]
-  in
-  let doc = "Constraint solver: fm (Fourier-Motzkin with integral tightening), fm-plain, simplex." in
-  Arg.(value & opt (enum methods) Dml_solver.Solver.Fm_tightened & info [ "solver" ] ~doc)
-
-(* Per-obligation solver budget and escalation; together with the method this
-   builds the pipeline's solve_config. *)
-let solve_config =
-  let fuel =
-    let doc = "Solver fuel per obligation (abstract work units: DNF disjuncts, \
-               Fourier combinations, simplex pivots)." in
-    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc)
-  in
-  let timeout_ms =
-    let doc = "Wall-clock solver deadline per obligation, in milliseconds." in
-    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
-  in
-  let max_elim =
-    let doc = "Maximum Fourier-Motzkin variable eliminations per obligation." in
-    Arg.(value & opt (some int) None & info [ "max-elim" ] ~docv:"N" ~doc)
-  in
-  let escalate =
-    let doc = "Retry unproven goals with stronger methods (fm-plain, fm, simplex) \
-               under the remaining budget." in
-    Arg.(value & flag & info [ "escalate" ] ~doc)
-  in
-  let build sc_method sc_escalate sc_fuel sc_timeout_ms sc_max_eliminations =
-    { Pipeline.sc_method; sc_escalate; sc_fuel; sc_timeout_ms; sc_max_eliminations }
-  in
-  Term.(const build $ solver_method $ escalate $ fuel $ timeout_ms $ max_elim)
-
-(* Verdict-cache configuration.  [--cache-dir] implies caching; a bare
-   [--cache] keeps the memo table in-process only.  [cache_spec_term] yields
-   the configuration (what the parallel runner ships to workers, which build
-   their own cache from it); [cache_term] builds the cache object for the
-   in-process commands. *)
-let cache_spec_term ~default_on =
-  let cache =
-    let doc = "Memoize solver verdicts: goals are canonicalized (alpha-renaming, \
-               conjunct order and linear-atom presentation are quotiented away) and \
-               repeated goals reuse their verdict instead of re-running the solver." in
-    Arg.(value & flag & info [ "cache" ] ~doc)
-  in
-  let no_cache =
-    let doc = "Disable the verdict cache (batch enables it by default)." in
-    Arg.(value & flag & info [ "no-cache" ] ~doc)
-  in
-  let cache_dir =
-    let doc = "Persist cached verdicts under $(docv) so they survive across dmlc \
-               invocations (implies --cache).  Corrupt or truncated entries are \
-               detected and treated as misses." in
-    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-  in
-  let cache_entries =
-    let doc = "Capacity of the in-memory verdict table; least-recently-used entries \
-               are evicted past $(docv) (0 = unbounded)." in
-    Arg.(value & opt int Dml_cache.Cache.default_config.Dml_cache.Cache.max_entries
-         & info [ "cache-entries" ] ~docv:"N" ~doc)
-  in
-  let build enabled disabled dir entries =
-    let wanted = (not disabled) && (enabled || dir <> None || default_on) in
-    if not wanted then None else Some { Dml_cache.Cache.max_entries = entries; dir }
-  in
-  Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries)
-
-let cache_term ~default_on =
-  let build spec = Option.map (fun config -> Dml_cache.Cache.create ~config ()) spec in
-  Term.(const build $ cache_spec_term ~default_on)
-
-let stats_flag =
-  let doc = "Print solver and cache counters (goals solved, hits, misses, evictions, \
-             solve vs. lookup time) after the report." in
-  Arg.(value & flag & info [ "stats" ] ~doc)
-
-(* --- observability: --trace FILE, --profile, --json ------------------------- *)
-
-type obs = { ob_trace : string option; ob_profile : bool; ob_json : bool }
-
-let obs_term =
-  let trace =
-    let doc = "Write a structured trace to $(docv) (schema dml-trace/1, see \
-               DESIGN.md): nested spans for parse, infer, elaborate and every \
-               obligation and solver goal, with method, budget tier, cache status, \
-               verdict and monotonic wall-clock durations." in
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-  in
-  let profile =
-    let doc = "Dump the process metrics registry (named counters and histograms \
-               across solver, cache, pipeline and the eval backends) after the \
-               command; with $(b,--json) it is embedded as a \"metrics\" field." in
-    Arg.(value & flag & info [ "profile" ] ~doc)
-  in
-  let json =
-    let doc = "Emit a machine-readable JSON report on stdout instead of the text \
-               output (schemas documented in DESIGN.md); implies span collection, so \
-               per-obligation solve spans are included." in
-    Arg.(value & flag & info [ "json" ] ~doc)
-  in
-  let build ob_trace ob_profile ob_json = { ob_trace; ob_profile; ob_json } in
-  Term.(const build $ trace $ profile $ json)
-
-(* Tracing is enabled exactly while the traced work runs: spans are needed
-   for the trace file and for the JSON report's "spans" field. *)
-let with_sink obs f =
-  if obs.ob_trace = None && not obs.ob_json then (f (), None)
-  else begin
-    let sink = Trace.create_sink () in
-    Trace.set_sink (Some sink);
-    let result = Fun.protect ~finally:(fun () -> Trace.set_sink None) f in
-    (match obs.ob_trace with
-    | None -> ()
-    | Some file -> (
-        match J.write_file file (Trace.to_json sink) with
-        | Ok () -> ()
-        | Error msg -> prerr_endline ("dmlc: cannot write trace file: " ^ msg)));
-    (result, Some sink)
-  end
-
-let emit_json v = print_endline (J.to_string_pretty v)
-
-(* the trailing report fields shared by every command: collected spans when
-   tracing ran, the metrics registry under --profile *)
-let obs_fields obs sink =
-  (match sink with
-  | Some sk when obs.ob_json ->
-      [ ("spans", J.List (List.map Trace.span_to_json (Trace.roots sk))) ]
-  | _ -> [])
-  @ if obs.ob_profile then [ ("metrics", Metrics.to_json ()) ] else []
-
-let profile_text obs = if obs.ob_profile && not obs.ob_json then Format.printf "%a" Metrics.pp ()
-
-(* --- JSON report builders ---------------------------------------------------- *)
-
-let json_of_fm (fm : Dml_solver.Fourier.stats) =
-  J.Obj
-    [
-      ("eliminations", J.Int fm.Dml_solver.Fourier.eliminations);
-      ("combinations", J.Int fm.Dml_solver.Fourier.combinations);
-      ("max_constraints", J.Int fm.Dml_solver.Fourier.max_constraints);
-      ("max_coeff", J.String (Format.asprintf "%a" Dml_numeric.Bigint.pp fm.Dml_solver.Fourier.max_coeff));
-    ]
-
-let json_of_solver_stats (s : Dml_solver.Solver.stats) =
-  J.Obj
-    [
-      ("goals", J.Int s.Dml_solver.Solver.checked_goals);
-      ("disjuncts", J.Int s.Dml_solver.Solver.disjuncts);
-      ("solve_s", J.Float s.Dml_solver.Solver.solve_time);
-      ("timeouts", J.Int s.Dml_solver.Solver.timeouts);
-      ("escalations", J.Int s.Dml_solver.Solver.escalations);
-      ("cache_hits", J.Int s.Dml_solver.Solver.cache_hits);
-      ("cache_misses", J.Int s.Dml_solver.Solver.cache_misses);
-      ("fm", json_of_fm s.Dml_solver.Solver.fm);
-    ]
-
-let json_of_cache_snapshot (cs : Dml_cache.Cache.snapshot) =
-  J.Obj
-    [
-      ("hits", J.Int cs.Dml_cache.Cache.s_hits);
-      ("disk_hits", J.Int cs.Dml_cache.Cache.s_disk_hits);
-      ("misses", J.Int cs.Dml_cache.Cache.s_misses);
-      ("stores", J.Int cs.Dml_cache.Cache.s_stores);
-      ("evictions", J.Int cs.Dml_cache.Cache.s_evictions);
-      ("corrupt", J.Int cs.Dml_cache.Cache.s_corrupt);
-      ("entries", J.Int cs.Dml_cache.Cache.s_entries);
-      ("lookup_s", J.Float cs.Dml_cache.Cache.s_lookup_time);
-      ("persist_s", J.Float cs.Dml_cache.Cache.s_persist_time);
-    ]
-
-let json_of_verdict v =
-  match v with
-  | Dml_solver.Solver.Valid -> [ ("verdict", J.String "valid") ]
-  | Dml_solver.Solver.Not_valid m ->
-      [ ("verdict", J.String "not-valid"); ("detail", J.String m) ]
-  | Dml_solver.Solver.Unsupported m ->
-      [ ("verdict", J.String "unsupported"); ("detail", J.String m) ]
-  | Dml_solver.Solver.Timeout m ->
-      [ ("verdict", J.String "timeout"); ("detail", J.String m) ]
-
-let json_of_obligation (co : Pipeline.checked_obligation) =
-  J.Obj
-    ([
-       ("what", J.String co.Pipeline.co_obligation.Elab.ob_what);
-       ( "loc",
-         J.String (Format.asprintf "%a" Dml_lang.Loc.pp co.Pipeline.co_obligation.Elab.ob_loc)
-       );
-     ]
-    @ json_of_verdict co.Pipeline.co_verdict
-    @ [ ("dur_s", J.Float co.Pipeline.co_time) ])
-
-let json_of_report ~program ?(extra = []) (r : Pipeline.report) =
-  J.Obj
-    ([
-       ("schema", J.String "dml-check/1");
-       ("program", J.String program);
-       ("valid", J.Bool r.Pipeline.rp_valid);
-       ("constraints", J.Int r.Pipeline.rp_constraints);
-       ("residual", J.Int r.Pipeline.rp_residual);
-       ("timeouts", J.Int r.Pipeline.rp_timeouts);
-       ("gen_s", J.Float r.Pipeline.rp_gen_time);
-       ("solve_s", J.Float r.Pipeline.rp_solve_time);
-       ("annotations", J.Int r.Pipeline.rp_annotations);
-       ("annotation_lines", J.Int r.Pipeline.rp_annotation_lines);
-       ("code_lines", J.Int r.Pipeline.rp_code_lines);
-       ( "warnings",
-         J.List
-           (List.map
-              (fun (msg, loc) ->
-                J.Obj
-                  [
-                    ("msg", J.String msg);
-                    ("loc", J.String (Format.asprintf "%a" Dml_lang.Loc.pp loc));
-                  ])
-              r.Pipeline.rp_warnings) );
-       ("obligations", J.List (List.map json_of_obligation r.Pipeline.rp_obligations));
-       ("solver", json_of_solver_stats r.Pipeline.rp_solver_stats);
-       ( "cache",
-         match r.Pipeline.rp_cache_stats with
-         | None -> J.Null
-         | Some cs -> json_of_cache_snapshot cs );
-     ]
-    @ extra)
-
-let json_of_failure ~program (f : Pipeline.failure) =
-  J.Obj
-    [
-      ("schema", J.String "dml-check/1");
-      ("program", J.String program);
-      ("valid", J.Bool false);
-      ( "failure",
-        J.Obj
-          [
-            ("stage", J.String (Pipeline.stage_name f.Pipeline.f_stage));
-            ("msg", J.String f.Pipeline.f_msg);
-            ("loc", J.String (Format.asprintf "%a" Dml_lang.Loc.pp f.Pipeline.f_loc));
-          ] );
-    ]
 
 let print_stats (report : Pipeline.report) =
   let s = report.Pipeline.rp_solver_stats in
@@ -281,47 +32,43 @@ let print_stats (report : Pipeline.report) =
   | None -> ()
   | Some cs -> Format.printf "cache: %a@." Dml_cache.Cache.pp_snapshot cs
 
-let degrade_flag =
-  let strict =
-    ( false,
-      Arg.info [ "strict" ]
-        ~doc:"Reject programs with unproven obligations (the default)." )
-  in
-  let degrade =
-    ( true,
-      Arg.info [ "degrade" ]
-        ~doc:
-          "Graceful degradation: accept programs with unproven obligations, keeping \
-           a dynamic bound check at exactly the unproven sites." )
-  in
-  Arg.(value & vflag false [ strict; degrade ])
-
 let file_arg =
   let doc = "Program file, or the name of a bundled benchmark (see $(b,dmlc list))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
-let exit_err msg =
-  prerr_endline msg;
-  exit 1
+(* Under --json, an unreadable input is still a well-formed dml-check/1
+   document (stage "io"), never a bare stderr line: a machine consumer
+   always gets a parseable report. *)
+let with_source ~json file k =
+  match read_source file with
+  | Ok src -> k src
+  | Error msg ->
+      if json then begin
+        emit_json (Report_json.of_io_failure ~program:file msg);
+        exit 1
+      end
+      else exit_err msg
 
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run config cache stats degrade obs file =
-    match read_source file with
-    | Error msg -> exit_err msg
-    | Ok src -> (
-        let result, sink = with_sink obs (fun () -> Pipeline.check ~config ?cache src) in
+  let run config cache_spec stats degrade obs file =
+    with_source ~json:obs.ob_json file (fun src ->
+        let mode = if degrade then Session.Degrade else Session.Strict in
+        let session =
+          Session.create ~options:(session_options ~mode ~solve:config ~cache_spec ()) ()
+        in
+        let result, sink = with_sink obs (fun () -> Pipeline.check_s session src) in
         match result with
         | Error f ->
             if obs.ob_json then begin
-              emit_json (json_of_failure ~program:file f);
+              emit_json (Report_json.of_failure ~program:file ~extra:(obs_fields obs sink) f);
               exit 1
             end
             else exit_err (Diagnose.render_failure ~src f)
         | Ok report ->
             if obs.ob_json then begin
-              emit_json (json_of_report ~program:file ~extra:(obs_fields obs sink) report);
+              emit_json (Report_json.of_report ~program:file ~extra:(obs_fields obs sink) report);
               if (not report.Pipeline.rp_valid) && not degrade then exit 1
             end
             else begin
@@ -342,10 +89,15 @@ let check_cmd =
               end
             end)
   in
+  let stats_flag =
+    let doc = "Print solver and cache counters (goals solved, hits, misses, evictions, \
+               solve vs. lookup time) after the report." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
   let doc = "Type check a program with dependent types and solve its constraints." in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ solve_config $ cache_term ~default_on:false $ stats_flag $ degrade_flag
+      const run $ solve_config $ cache_spec_term ~default_on:false $ stats_flag $ degrade_flag
       $ obs_term $ file_arg)
 
 (* --- batch ------------------------------------------------------------------ *)
@@ -359,7 +111,10 @@ let check_cmd =
    only schedule-independent fields, so it is byte-identical across -j
    widths; the text table keeps the volatile timing/cache columns. *)
 let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
-  let jobs = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in
+  let jobs_n = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in
+  let options =
+    session_options ~jobs:jobs_n ~shard_obligations:shard ~solve:config ~cache_spec ()
+  in
   let resolved =
     List.map
       (fun name -> { Dml_par.Runner.tg_name = name; tg_source = read_source name })
@@ -372,10 +127,7 @@ let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
         for pass = 1 to repeat do
           if repeat > 1 && not obs.ob_json then
             Format.printf "--- pass %d/%d ---@." pass repeat;
-          let rows =
-            Dml_par.Runner.check_targets ~mode:(Dml_par.Runner.Workers jobs)
-              ~shard_obligations:shard ~config ?cache:cache_spec resolved
-          in
+          let rows = Dml_par.Runner.check_targets_s options resolved in
           passes := rows :: !passes;
           if not obs.ob_json then begin
             Format.printf "%-16s %-10s %5s %6s %6s %6s %9s %9s@." "program" "status" "cons"
@@ -400,7 +152,7 @@ let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
                       s.Dml_par.Runner.sm_gen_s)
               rows;
             Format.printf "pass %d: %d program(s), %d failed; goals=%d; jobs=%d%s@." pass
-              (List.length rows) !agg_fail !agg_goals jobs
+              (List.length rows) !agg_fail !agg_goals jobs_n
               (if shard then " (obligation-sharded)" else "")
           end;
           List.iter
@@ -439,7 +191,8 @@ let batch_cmd =
         ~jobs:(Option.value jobs ~default:0)
         ~shard ~repeat ~obs targets
     else begin
-    let cache = Option.map (fun config -> Dml_cache.Cache.create ~config ()) cache_spec in
+    let session = Session.create ~options:(session_options ~solve:config ~cache_spec ()) () in
+    let cache = Session.cache session in
     let failures = ref 0 in
     let pass_docs = ref [] in
     let (), sink =
@@ -462,7 +215,7 @@ let batch_cmd =
                       J.Obj [ ("program", J.String target); ("error", J.String msg) ] :: !rows;
                     if not obs.ob_json then Format.printf "%-16s %-10s %s@." target "error" msg
                 | Ok src -> (
-                    match Pipeline.check ~config ?cache src with
+                    match Pipeline.check_s session src with
                     | Error f ->
                         incr agg_fail;
                         rows :=
@@ -556,7 +309,7 @@ let batch_cmd =
               ( "cache",
                 match cache with
                 | None -> J.Null
-                | Some c -> json_of_cache_snapshot (Dml_cache.Cache.snapshot c) );
+                | Some c -> Dml_cache.Cache.snapshot_to_json (Dml_cache.Cache.snapshot c) );
             ]
            @ obs_fields obs sink))
     else begin
@@ -583,41 +336,24 @@ let batch_cmd =
           ~doc:"Run the whole batch $(docv) times against the same cache; later passes \
                 show the fully warm amortization.")
   in
-  let jobs =
-    Arg.(
-      value & opt (some int) None
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Shard the batch across $(docv) forked worker processes (0 = one per \
-                core).  Results are merged back in input order, so --json output is \
-                byte-identical to -j 1; a crashed or hung worker degrades only the \
-                task it was running.")
-  in
-  let shard =
-    Arg.(
-      value & flag
-      & info [ "shard-obligations" ]
-          ~doc:"Parallelize at the proof-obligation grain instead of whole programs: \
-                the front end runs in the parent and workers decide individual \
-                constraints (implies -j; balances batches dominated by one \
-                constraint-heavy program).")
-  in
   let doc =
     "Check many programs against one shared solver-verdict cache and report per-program \
      and aggregate amortization (caching is on by default here; --no-cache disables it)."
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ solve_config $ cache_spec_term ~default_on:true $ jobs $ shard $ all $ repeat
-      $ obs_term $ files)
+      const run $ solve_config $ cache_spec_term ~default_on:true $ batch_jobs_term $ shard_term
+      $ all $ repeat $ obs_term $ files)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
 let constraints_cmd =
-  let run config cache file =
+  let run config cache_spec file =
+    let session = Session.create ~options:(session_options ~solve:config ~cache_spec ()) () in
     match read_source file with
     | Error msg -> exit_err msg
     | Ok src -> (
-        match Pipeline.check ~config ?cache src with
+        match Pipeline.check_s session src with
         | Error f -> exit_err (Pipeline.failure_to_string f)
         | Ok report ->
             List.iter
@@ -631,18 +367,20 @@ let constraints_cmd =
   in
   let doc = "Print every constraint generated during elaboration, with its verdict." in
   Cmd.v (Cmd.info "constraints" ~doc)
-    Term.(const run $ solve_config $ cache_term ~default_on:false $ file_arg)
+    Term.(const run $ solve_config $ cache_spec_term ~default_on:false $ file_arg)
 
 (* --- run -------------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run config cache degrade obs file binding unchecked backend =
-    match read_source file with
-    | Error msg -> exit_err msg
-    | Ok src -> (
+  let run config cache_spec degrade obs file binding unchecked backend =
+    with_source ~json:obs.ob_json file (fun src ->
+        let mode = if degrade then Session.Degrade else Session.Strict in
+        let session =
+          Session.create ~options:(session_options ~mode ~solve:config ~cache_spec ()) ()
+        in
         let result, sink =
           with_sink obs (fun () ->
-              match Pipeline.check ~config ?cache src with
+              match Pipeline.check_s session src with
               | Error f -> Error (`Failure f)
               | Ok report when (not report.Pipeline.rp_valid) && not degrade ->
                   Error (`Invalid report)
@@ -683,13 +421,13 @@ let run_cmd =
         match result with
         | Error (`Failure f) ->
             if obs.ob_json then begin
-              emit_json (json_of_failure ~program:file f);
+              emit_json (Report_json.of_failure ~program:file ~extra:(obs_fields obs sink) f);
               exit 1
             end
             else exit_err (Diagnose.render_failure ~src f)
         | Error (`Invalid report) ->
             if obs.ob_json then begin
-              emit_json (json_of_report ~program:file ~extra:(obs_fields obs sink) report);
+              emit_json (Report_json.of_report ~program:file ~extra:(obs_fields obs sink) report);
               exit 1
             end
             else exit_err (Diagnose.render_report ~src report)
@@ -710,7 +448,7 @@ let run_cmd =
                       ("residual", J.Int report.Pipeline.rp_residual);
                       ("dynamic_checks", J.Int counters.Dml_eval.Prims.dynamic_checks);
                       ("eliminated_checks", J.Int counters.Dml_eval.Prims.eliminated_checks);
-                      ("solver", json_of_solver_stats report.Pipeline.rp_solver_stats);
+                      ("solver", Report_json.solver_stats_to_json report.Pipeline.rp_solver_stats);
                     ]
                    @ obs_fields obs sink))
             else begin
@@ -739,7 +477,7 @@ let run_cmd =
   let doc = "Type check, evaluate, and print a top-level binding." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ solve_config $ cache_term ~default_on:false $ degrade_flag $ obs_term
+      const run $ solve_config $ cache_spec_term ~default_on:false $ degrade_flag $ obs_term
       $ file_arg $ binding $ unchecked $ backend)
 
 (* --- tables ------------------------------------------------------------------------- *)
@@ -748,11 +486,10 @@ let run_cmd =
    record holds closures and cannot cross the pipe; workers re-resolve the
    name in their own copy of the registry). *)
 let table_jobs_term =
-  let doc =
-    "Compute table rows in parallel with $(docv) forked worker processes (0 = one per \
-     core); rows are merged back in benchmark order."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  jobs_term
+    ~doc:
+      "Compute table rows in parallel with $(docv) forked worker processes (0 = one per \
+       core); rows are merged back in benchmark order."
 
 let pooled_rows ~jobs ~row_of_benchmark =
   let jobs = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in

@@ -166,21 +166,27 @@ let parse_options () =
 
 let () =
   let opts = parse_options () in
-  let config =
-    {
-      Pipeline.default_config with
-      Pipeline.sc_escalate = opts.escalate;
-      sc_fuel = opts.fuel;
-      sc_timeout_ms = opts.timeout_ms;
-    }
-  in
-  let cache =
-    if opts.cache then
-      Some
-        (Dml_cache.Cache.create
-           ~config:{ Dml_cache.Cache.default_config with Dml_cache.Cache.dir = opts.cache_dir }
-           ())
-    else None
+  (* one session for the whole REPL: the warm verdict cache is what makes
+     re-checking the growing session cheap (earlier entries' goals are hits) *)
+  let checker =
+    Session.create
+      ~options:
+        {
+          Session.default_options with
+          Session.op_solve =
+            {
+              Session.default_solve_config with
+              Session.sc_escalate = opts.escalate;
+              sc_fuel = opts.fuel;
+              sc_timeout_ms = opts.timeout_ms;
+            };
+          op_cache =
+            (if opts.cache then
+               Some { Dml_cache.Cache.default_config with Dml_cache.Cache.dir = opts.cache_dir }
+             else None);
+          op_mode = (if opts.degrade then Session.Degrade else Session.Strict);
+        }
+      ()
   in
   let sink =
     match opts.trace with
@@ -204,7 +210,7 @@ let () =
     | Some entry ->
         let fragment = if is_decl entry then entry else Printf.sprintf "val it = %s" entry in
         let candidate = !session ^ "\n" ^ fragment ^ "\n" in
-        (match Pipeline.check ~config ?cache candidate with
+        (match Pipeline.check_s checker candidate with
         | Error f -> print_string (Diagnose.render_failure ~src:candidate f)
         | Ok report when (not report.Pipeline.rp_valid) && not opts.degrade ->
             print_string (Diagnose.render_report ~src:candidate report)

@@ -130,4 +130,28 @@ let pp_snapshot fmt s =
     (if s.s_corrupt > 0 then Printf.sprintf ", corrupt: %d" s.s_corrupt else "")
     s.s_lookup_time s.s_persist_time
 
+let snapshot_to_json s =
+  Dml_obs.Json.Obj
+    [
+      ("hits", Dml_obs.Json.Int s.s_hits);
+      ("disk_hits", Dml_obs.Json.Int s.s_disk_hits);
+      ("misses", Dml_obs.Json.Int s.s_misses);
+      ("stores", Dml_obs.Json.Int s.s_stores);
+      ("evictions", Dml_obs.Json.Int s.s_evictions);
+      ("corrupt", Dml_obs.Json.Int s.s_corrupt);
+      ("entries", Dml_obs.Json.Int s.s_entries);
+      ("lookup_s", Dml_obs.Json.Float s.s_lookup_time);
+      ("persist_s", Dml_obs.Json.Float s.s_persist_time);
+    ]
+
+let config_to_json c =
+  Dml_obs.Json.Obj
+    [
+      ("max_entries", Dml_obs.Json.Int c.max_entries);
+      ( "dir",
+        match c.dir with
+        | None -> Dml_obs.Json.Null
+        | Some d -> Dml_obs.Json.String d );
+    ]
+
 let digest_goal = Canon.digest

@@ -69,6 +69,15 @@ val diff : snapshot -> snapshot -> snapshot
 
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
+val snapshot_to_json : snapshot -> Dml_obs.Json.t
+(** The snapshot as the ["cache"] object of the [dml-check/1] schema
+    (the single shared shape between [dmlc --json] and the [dmld]
+    server). *)
+
+val config_to_json : config -> Dml_obs.Json.t
+(** [{"max_entries", "dir"}] — embedded in session-options documents
+    ([dmld status], fingerprints). *)
+
 val digest_goal : Constr.goal -> string
 (** {!Canon.digest}, re-exported so clients need not depend on the
     canonicalizer directly. *)

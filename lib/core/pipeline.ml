@@ -25,7 +25,9 @@ let m_residual = Metrics.counter "pipeline.residual"
 let h_gen_ms = Metrics.histogram "pipeline.gen_ms"
 let h_solve_ms = Metrics.histogram "pipeline.solve_ms"
 
-type solve_config = {
+(* The solving policy lives in Session now; re-exported under the old
+   names for the pre-Session API. *)
+type solve_config = Session.solve_config = {
   sc_method : Solver.method_;
   sc_escalate : bool;  (* retry unproven goals along Solver.default_ladder *)
   sc_fuel : int option;
@@ -33,23 +35,8 @@ type solve_config = {
   sc_max_eliminations : int option;
 }
 
-let default_config =
-  {
-    sc_method = Solver.Fm_tightened;
-    sc_escalate = false;
-    sc_fuel = None;
-    sc_timeout_ms = None;
-    sc_max_eliminations = None;
-  }
-
-(* A fresh budget per obligation: one pathological constraint exhausts its
-   own allowance and degrades its own site, without starving the rest of the
-   program. *)
-let budget_of_config c =
-  match (c.sc_fuel, c.sc_timeout_ms, c.sc_max_eliminations) with
-  | None, None, None -> None
-  | fuel, timeout_ms, max_eliminations ->
-      Some (Budget.create ?fuel ?timeout_ms ?max_eliminations ())
+let default_config = Session.default_solve_config
+let budget_of_config = Session.budget_of_solve_config
 
 type report = {
   rp_obligations : checked_obligation list;
@@ -174,10 +161,21 @@ let frontend src =
   | exception Sys.Break -> raise Sys.Break
   | exception e -> Error (failure_of_exn e)
 
+(* Run [f] with the session's trace sink installed (restoring whatever was
+   active): a session with a sink traces its checks wherever they happen;
+   a session without one leaves the caller's sink arrangement alone. *)
+let with_session_sink session f =
+  match Session.sink session with
+  | None -> f ()
+  | Some sk ->
+      let prev = Trace.current_sink () in
+      Trace.set_sink (Some sk);
+      Fun.protect ~finally:(fun () -> Trace.set_sink prev) f
+
 (* Solve one obligation under its own fresh budget and isolation barrier:
    one pathological constraint exhausts its own allowance and degrades its
    own site, without starving the rest of the program. *)
-let solve_obligation ?(config = default_config) ?stats ?cache ob =
+let solve_obligation_raw ~config ?stats ?cache ob =
   let budget = budget_of_config config in
   let sp = Trace.start "obligation" in
   let ot0 = Budget.now () in
@@ -192,6 +190,11 @@ let solve_obligation ?(config = default_config) ?stats ?cache ob =
   end;
   Trace.finish sp;
   { co_obligation = ob; co_verdict = verdict; co_time = Budget.now () -. ot0 }
+
+let solve_obligation_s session ?stats ob =
+  with_session_sink session (fun () ->
+      solve_obligation_raw ~config:(Session.solve session) ?stats
+        ?cache:(Session.cache session) ob)
 
 let assemble ?cache_stats ~stats ~solve_time fe obligations =
   let residual = List.filter (fun co -> co.co_verdict <> Solver.Valid) obligations in
@@ -221,10 +224,10 @@ let assemble ?cache_stats ~stats ~solve_time fe obligations =
     rp_cache_stats = cache_stats;
   }
 
-let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
-  let config =
-    match config with Some c -> c | None -> { default_config with sc_method = method_ }
-  in
+let check_s session src =
+  with_session_sink session @@ fun () ->
+  let config = Session.solve session in
+  let cache = Session.cache session in
   let cache_before = Option.map Dml_cache.Cache.snapshot cache in
   let sp_check = Trace.start "check" in
   Metrics.incr m_runs;
@@ -233,7 +236,9 @@ let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
     let fe = frontend_exn src in
     let stats = Solver.new_stats () in
     let t1 = Budget.now () in
-    let obligations = List.map (solve_obligation ~config ~stats ?cache) fe.fe_obligations in
+    let obligations =
+      List.map (solve_obligation_raw ~config ~stats ?cache) fe.fe_obligations
+    in
     let solve_time = Budget.now () -. t1 in
     let cache_stats =
       match (cache, cache_before) with
@@ -268,8 +273,8 @@ let pp_failure fmt f =
 
 let failure_to_string f = Format.asprintf "%a" pp_failure f
 
-let check_valid ?config ?cache src =
-  match check ?config ?cache src with
+let check_valid_s session src =
+  match check_s session src with
   | Error f -> Error (failure_to_string f)
   | Ok report ->
       if report.rp_valid then Ok report
@@ -286,6 +291,27 @@ let check_valid ?config ?cache src =
           (Printf.sprintf "%d unproven constraint(s):\n%s" (List.length failing)
              (String.concat "\n" msgs))
       end
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated optional-argument wrappers (pre-Session API)             *)
+(* ------------------------------------------------------------------ *)
+
+let session_of ?cache config =
+  Session.create ?cache
+    ~options:{ Session.default_options with Session.op_solve = config }
+    ()
+
+let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
+  let config =
+    match config with Some c -> c | None -> { default_config with sc_method = method_ }
+  in
+  check_s (session_of ?cache config) src
+
+let check_valid ?(config = default_config) ?cache src =
+  check_valid_s (session_of ?cache config) src
+
+let solve_obligation ?(config = default_config) ?stats ?cache ob =
+  solve_obligation_raw ~config ?stats ?cache ob
 
 let pp_report fmt r =
   Format.fprintf fmt

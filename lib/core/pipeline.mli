@@ -31,7 +31,7 @@ type checked_obligation = {
   co_time : float;  (** wall-clock seconds spent deciding this obligation *)
 }
 
-type solve_config = {
+type solve_config = Session.solve_config = {
   sc_method : Solver.method_;  (** first (or only) method tried per goal *)
   sc_escalate : bool;
       (** retry unproven goals along {!Solver.default_ladder} under the
@@ -41,6 +41,7 @@ type solve_config = {
   sc_max_eliminations : int option;
       (** Fourier variable-elimination bound per obligation *)
 }
+(** Re-export of {!Session.solve_config}, where the type now lives. *)
 
 val default_config : solve_config
 (** [Fm_tightened], no escalation, unlimited budget — the seed behaviour. *)
@@ -97,16 +98,13 @@ val frontend : string -> (frontend, failure) result
 (** Parse, ML inference, dependent elaboration — everything before solving.
     Never raises (same failure conversion as {!check}). *)
 
-val solve_obligation :
-  ?config:solve_config ->
-  ?stats:Solver.stats ->
-  ?cache:Dml_cache.Cache.t ->
-  Elab.obligation ->
-  checked_obligation
-(** Decide one obligation under a fresh budget built from the config (the
-    per-worker deadline inheritance of [-j N]: every process re-derives the
-    same per-obligation allowance from the shipped config).  Never raises:
-    the solver's isolation barrier converts faults to verdicts. *)
+val solve_obligation_s :
+  Session.t -> ?stats:Solver.stats -> Elab.obligation -> checked_obligation
+(** Decide one obligation under a fresh budget built from the session's
+    solve config (the per-worker deadline inheritance of [-j N]: every
+    process re-derives the same per-obligation allowance from the shipped
+    options).  Never raises: the solver's isolation barrier converts faults
+    to verdicts. *)
 
 val assemble :
   ?cache_stats:Dml_cache.Cache.snapshot ->
@@ -118,27 +116,49 @@ val assemble :
 (** Rebuild a {!report} from a front end and its (merged, generation-order)
     solved obligations. *)
 
+val check_s : Session.t -> string -> (report, failure) result
+(** Runs the full pipeline on a user program (the basis is prepended) under
+    a {!Session.t}: the session supplies the solve config, the shared
+    verdict cache (so the basis and any repeated goals are solved once
+    across every check of the session — {!Dml_cache.Cache} states the reuse
+    rules) and an optional trace sink, installed for the duration of the
+    call.  Never raises on any input: staged front-end errors are returned
+    as failures, and an unexpected exception (including stack overflow) is
+    reported as an [`Internal] failure rather than propagated. *)
+
+val check_valid_s : Session.t -> string -> (report, string) result
+(** Strict consumption: like {!check_s} but also turns unproven obligations
+    (including timeouts) into an error message listing the failing
+    constraints. *)
+
+(** {1 Deprecated optional-argument front doors}
+
+    Thin wrappers kept so pre-Session callers (examples, tests) compile
+    unchanged; each builds an ephemeral single-use {!Session.t}.  New code
+    — and everything under [lib/]/[bin/], enforced by CI — uses the
+    session API above. *)
+
 val check :
   ?method_:Solver.method_ ->
   ?config:solve_config ->
   ?cache:Dml_cache.Cache.t ->
   string ->
   (report, failure) result
-(** Runs the full pipeline on a user program (the basis is prepended).
-    [?method_] is a shorthand for [{ default_config with sc_method }];
-    [?config] takes precedence over it.  With [?cache] every solver goal is
-    looked up in (and recorded into) the given verdict cache — the cache
-    object is meant to be shared across many [check] calls so the basis and
-    any repeated goals are solved once ({!Dml_cache.Cache} states the reuse
-    rules).  Never raises on any input: staged front-end errors are
-    returned as failures, and an unexpected exception (including stack
-    overflow) is reported as an [`Internal] failure rather than
-    propagated. *)
+(** @deprecated Use {!check_s} with a {!Session.t}.  [?method_] is a
+    shorthand for [{ default_config with sc_method }]; [?config] takes
+    precedence over it. *)
 
 val check_valid :
   ?config:solve_config -> ?cache:Dml_cache.Cache.t -> string -> (report, string) result
-(** Strict mode: like {!check} but also turns unproven obligations (including
-    timeouts) into an error message listing the failing constraints. *)
+(** @deprecated Use {!check_valid_s} with a {!Session.t}. *)
+
+val solve_obligation :
+  ?config:solve_config ->
+  ?stats:Solver.stats ->
+  ?cache:Dml_cache.Cache.t ->
+  Elab.obligation ->
+  checked_obligation
+(** @deprecated Use {!solve_obligation_s} with a {!Session.t}. *)
 
 val unproven : report -> checked_obligation list
 (** Obligations whose verdict is not [Valid], in generation order. *)

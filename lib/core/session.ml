@@ -1,0 +1,97 @@
+open Dml_solver
+module Json = Dml_obs.Json
+
+type solve_config = {
+  sc_method : Solver.method_;
+  sc_escalate : bool;
+  sc_fuel : int option;
+  sc_timeout_ms : int option;
+  sc_max_eliminations : int option;
+}
+
+let default_solve_config =
+  {
+    sc_method = Solver.Fm_tightened;
+    sc_escalate = false;
+    sc_fuel = None;
+    sc_timeout_ms = None;
+    sc_max_eliminations = None;
+  }
+
+(* A fresh budget per obligation: one pathological constraint exhausts its
+   own allowance and degrades its own site, without starving the rest of
+   the program. *)
+let budget_of_solve_config c =
+  match (c.sc_fuel, c.sc_timeout_ms, c.sc_max_eliminations) with
+  | None, None, None -> None
+  | fuel, timeout_ms, max_eliminations ->
+      Some (Budget.create ?fuel ?timeout_ms ?max_eliminations ())
+
+type mode = Strict | Degrade
+
+type options = {
+  op_solve : solve_config;
+  op_cache : Dml_cache.Cache.config option;
+  op_mode : mode;
+  op_jobs : int option;
+  op_shard_obligations : bool;
+}
+
+let default_options =
+  {
+    op_solve = default_solve_config;
+    op_cache = None;
+    op_mode = Strict;
+    op_jobs = None;
+    op_shard_obligations = false;
+  }
+
+let json_of_int_opt = function None -> Json.Null | Some n -> Json.Int n
+
+let options_to_json o =
+  Json.Obj
+    [
+      ( "solve",
+        Json.Obj
+          [
+            ("method", Json.String (Solver.method_slug o.op_solve.sc_method));
+            ("escalate", Json.Bool o.op_solve.sc_escalate);
+            ("fuel", json_of_int_opt o.op_solve.sc_fuel);
+            ("timeout_ms", json_of_int_opt o.op_solve.sc_timeout_ms);
+            ("max_eliminations", json_of_int_opt o.op_solve.sc_max_eliminations);
+          ] );
+      ( "cache",
+        match o.op_cache with
+        | None -> Json.Null
+        | Some c -> Dml_cache.Cache.config_to_json c );
+      ("mode", Json.String (match o.op_mode with Strict -> "strict" | Degrade -> "degrade"));
+      ("jobs", json_of_int_opt o.op_jobs);
+      ("shard_obligations", Json.Bool o.op_shard_obligations);
+    ]
+
+let fingerprint o = Digest.to_hex (Digest.string (Json.to_string (options_to_json o)))
+
+let memo_key o source = Digest.to_hex (Digest.string source) ^ ":" ^ fingerprint o
+
+type t = {
+  t_options : options;
+  t_cache : Dml_cache.Cache.t option;
+  t_sink : Dml_obs.Trace.sink option;
+}
+
+let create ?sink ?cache ?(options = default_options) () =
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None -> Option.map (fun config -> Dml_cache.Cache.create ~config ()) options.op_cache
+  in
+  { t_options = options; t_cache = cache; t_sink = sink }
+
+let options t = t.t_options
+let solve t = t.t_options.op_solve
+let mode t = t.t_options.op_mode
+let strict t = t.t_options.op_mode = Strict
+let cache t = t.t_cache
+let sink t = t.t_sink
+
+let with_options t options = { t with t_options = options }

@@ -278,6 +278,16 @@ let member k = function
   | Obj kvs -> List.assoc_opt k kvs
   | _ -> None
 
+let rec scrub ~keys v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> v
+  | List items -> List (List.map (scrub ~keys) items)
+  | Obj kvs ->
+      Obj
+        (List.map
+           (fun (k, v) -> if List.mem k keys then (k, Null) else (k, scrub ~keys v))
+           kvs)
+
 let write_file path v =
   match open_out path with
   | exception Sys_error msg -> Error msg

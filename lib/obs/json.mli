@@ -32,6 +32,14 @@ val of_string : string -> (t, string) result
 val member : string -> t -> t option
 (** [member k (Obj kvs)] is the first binding of [k]; [None] otherwise. *)
 
+val scrub : keys:string list -> t -> t
+(** Replace the value of every object field named in [keys] — at any
+    nesting depth — with [Null], keeping the key so the document shape is
+    preserved.  This is how schedule-dependent fields (wall-clock
+    durations, pids, cache hit counts) are removed before comparing two
+    documents for byte-identity: scrub both sides with the same key list
+    and compare the renderings. *)
+
 val write_file : string -> t -> (unit, string) result
 (** Pretty-print to a file (atomically enough for reports: write then
     single rename is not attempted; a failed write reports the error). *)

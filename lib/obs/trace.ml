@@ -17,6 +17,7 @@ let current : sink option ref = ref None
 
 let create_sink () = { sk_roots = []; sk_stack = [] }
 let set_sink s = current := s
+let current_sink () = !current
 let enabled () = !current <> None
 let real sp = sp != null_span
 

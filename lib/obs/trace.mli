@@ -28,6 +28,10 @@ val set_sink : sink option -> unit
 (** Install or remove the process-wide sink.  Spans started under a sink
     that has since been removed are dropped on [finish]. *)
 
+val current_sink : unit -> sink option
+(** The installed sink, if any: lets a scoped installer (e.g. a
+    {!Dml_core.Session} check) save and restore whatever was active. *)
+
 val enabled : unit -> bool
 
 val null_span : span

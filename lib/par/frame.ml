@@ -1,7 +1,9 @@
-(* 8-byte big-endian length header + Marshal payload.  The header is fixed
-   width (not a varint) so a reader can always classify a short read: fewer
-   than 8 bytes at offset 0 is clean EOF or truncation, anything after that
-   is truncation. *)
+(* 8-byte big-endian length header + payload.  The header is fixed width
+   (not a varint) so a reader can always classify a short read: fewer than
+   8 bytes at offset 0 is clean EOF or truncation, anything after that is
+   truncation.  Two payload encodings share the discipline: [Marshal]
+   ([write]/[read], the worker pool) and verbatim bytes
+   ([write_raw]/[read_raw], the server's JSON protocol). *)
 
 let header_len = 8
 
@@ -18,13 +20,15 @@ let rec write_all fd buf ofs len =
     write_all fd buf (ofs + n) (len - n)
   end
 
-let write fd v =
-  let payload = Marshal.to_bytes v [] in
+let write_payload fd payload =
   let n = Bytes.length payload in
   let frame = Bytes.create (header_len + n) in
   Bytes.set_int64_be frame 0 (Int64.of_int n);
   Bytes.blit payload 0 frame header_len n;
   write_all fd frame 0 (header_len + n)
+
+let write fd v = write_payload fd (Marshal.to_bytes v [])
+let write_raw fd s = write_payload fd (Bytes.of_string s)
 
 (* Returns the number of bytes actually read: len on success, less on EOF. *)
 let read_all fd buf ofs0 len =
@@ -41,23 +45,38 @@ let read_all fd buf ofs0 len =
   in
   go ofs0 len
 
-let read fd =
+let read_payload ?(max = max_frame) fd =
   let header = Bytes.create header_len in
   match read_all fd header 0 header_len with
   | 0 -> Error `Eof
   | n when n < header_len ->
       Error (`Error (Printf.sprintf "truncated frame header (%d of %d bytes)" n header_len))
-  | _ -> (
+  | _ ->
       let len64 = Bytes.get_int64_be header 0 in
       if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_frame) > 0 then
         Error (`Error (Printf.sprintf "corrupt frame header (length %Ld)" len64))
+      else if Int64.compare len64 (Int64.of_int max) > 0 then
+        Error (`Oversized (Int64.to_int len64))
       else
         let len = Int64.to_int len64 in
         let payload = Bytes.create len in
-        match read_all fd payload 0 len with
+        (match read_all fd payload 0 len with
         | n when n < len ->
             Error (`Error (Printf.sprintf "truncated frame payload (%d of %d bytes)" n len))
-        | _ -> (
-            match Marshal.from_bytes payload 0 with
-            | v -> Ok v
-            | exception Failure msg -> Error (`Error ("unmarshal failure: " ^ msg))))
+        | _ -> Ok payload)
+
+let read fd =
+  match read_payload fd with
+  | Ok payload -> (
+      match Marshal.from_bytes payload 0 with
+      | v -> Ok v
+      | exception Failure msg -> Error (`Error ("unmarshal failure: " ^ msg)))
+  | Error (`Oversized n) ->
+      (* cannot happen at the default cap, but keep the type honest *)
+      Error (`Error (Printf.sprintf "corrupt frame header (length %d)" n))
+  | Error (`Eof | `Error _) as e -> e
+
+let read_raw ?max fd =
+  match read_payload ?max fd with
+  | Ok payload -> Ok (Bytes.to_string payload)
+  | Error (`Eof | `Oversized _ | `Error _) as e -> e

@@ -7,6 +7,11 @@
     what turns a dead worker into an isolated per-task error instead of a
     wedged pool. *)
 
+val header_len : int
+(** Width of the length prefix (8 bytes, big-endian) — exported for readers
+    that decode frames incrementally from a buffer (the [dmld] server's
+    select loop) instead of through {!read_raw}. *)
+
 val max_frame : int
 (** Sanity cap on the payload length (bytes).  A header announcing more than
     this is treated as stream corruption, not an allocation request. *)
@@ -15,6 +20,20 @@ val write : Unix.file_descr -> 'a -> unit
 (** Marshal [v] and write one frame, looping over partial writes and
     retrying [EINTR].  Raises [Unix.Unix_error] — notably [EPIPE] when the
     peer died — which the pool maps to a task-level error. *)
+
+val write_raw : Unix.file_descr -> string -> unit
+(** Write one frame whose payload is the given bytes verbatim (no
+    [Marshal]).  The [dmld] server's [dml-server/1] protocol is built on
+    this: the payload is UTF-8 JSON, so the framing discipline is shared
+    with the worker pool while the payload stays language-neutral. *)
+
+val read_raw :
+  ?max:int -> Unix.file_descr -> (string, [ `Eof | `Oversized of int | `Error of string ]) result
+(** Read one frame and return its payload bytes.  [max] (default
+    {!max_frame}) caps the announced payload length; a header announcing
+    more is [`Oversized len] — the distinguished rejection the server
+    answers before closing the connection, since the stream cannot be
+    resynchronized past an unread oversized payload. *)
 
 val read : Unix.file_descr -> ('a, [ `Eof | `Error of string ]) result
 (** Read one frame.  [`Eof] only on end-of-stream at a frame boundary (the

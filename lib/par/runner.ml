@@ -49,11 +49,23 @@ let summarize (rp : Pipeline.report) =
     sm_obligations = obligation_rows;
   }
 
-let check_one ?config ?cache target =
+(* An ephemeral session around a solve config and an already-built cache
+   object: what each execution site (sequential loop, forked worker)
+   assembles from the plain-data options that crossed the pipe. *)
+let session_for ?config ?cache () =
+  Session.create ?cache
+    ~options:
+      {
+        Session.default_options with
+        Session.op_solve = Option.value config ~default:Pipeline.default_config;
+      }
+    ()
+
+let check_one session target =
   match target.tg_source with
   | Error msg -> Error msg
   | Ok src -> (
-      match Pipeline.check ?config ?cache src with
+      match Pipeline.check_s session src with
       | Ok rp -> Ok (summarize rp)
       | Error f -> Error (Pipeline.failure_to_string f))
 
@@ -88,10 +100,12 @@ let run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
   (* Each worker builds its own cache on first use *after* the fork, from
      the shared config: the memo LRU is private per process, while a
      [dir] is shared through the store's atomic tmp-rename writes. *)
-  let worker_cache = lazy (Option.map (fun c -> Cache.create ~config:c ()) cache) in
+  let worker_session =
+    lazy (session_for ?config ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache) ())
+  in
   let worker target =
     test_injection target.tg_name;
-    check_one ?config ?cache:(Lazy.force worker_cache) target
+    check_one (Lazy.force worker_session) target
   in
   let outcomes = Pool.run ~jobs ?task_timeout_ms ~worker targets in
   List.map2
@@ -141,12 +155,15 @@ let run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
            | Ok fe -> List.map (fun ob -> (pi, ob)) fe.Pipeline.fe_obligations)
          fronts)
   in
-  let worker_cache = lazy (Option.map (fun c -> Cache.create ~config:c ()) cache) in
+  let worker_session =
+    lazy
+      (session_for ~config:config_v
+         ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache)
+         ())
+  in
   let worker (_pi, ob) =
     let stats = Solver.new_stats () in
-    let co =
-      Pipeline.solve_obligation ~config:config_v ~stats ?cache:(Lazy.force worker_cache) ob
-    in
+    let co = Pipeline.solve_obligation_s (Lazy.force worker_session) ~stats ob in
     (co.Pipeline.co_verdict, co.Pipeline.co_time, stats)
   in
   let outcomes = Pool.run ~jobs ?task_timeout_ms ~worker tasks in
@@ -200,14 +217,25 @@ let check_targets ?(mode = Sequential) ?(shard_obligations = false) ?task_timeou
     ?config ?cache targets =
   match mode with
   | Sequential ->
-      let cache = Option.map (fun c -> Cache.create ~config:c ()) cache in
-      List.map
-        (fun t -> { row_name = t.tg_name; row_result = check_one ?config ?cache t })
-        targets
+      let session =
+        session_for ?config ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache) ()
+      in
+      List.map (fun t -> { row_name = t.tg_name; row_result = check_one session t }) targets
   | Workers jobs ->
       if shard_obligations then
         run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets
       else run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets
+
+let check_targets_s ?task_timeout_ms (options : Session.options) targets =
+  let mode =
+    match options.Session.op_jobs with
+    | None when not options.Session.op_shard_obligations -> Sequential
+    | None | Some 0 -> Workers (Pool.cpu_count ())
+    | Some n -> Workers n
+  in
+  check_targets ~mode ~shard_obligations:options.Session.op_shard_obligations
+    ?task_timeout_ms ~config:options.Session.op_solve ?cache:options.Session.op_cache
+    targets
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic JSON                                                  *)

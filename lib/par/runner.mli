@@ -3,7 +3,7 @@
     Two sharding grains:
 
     - {e program sharding} (the default under [Workers n]): each task is one
-      whole program; a worker runs the full {!Dml_core.Pipeline.check} on it
+      whole program; a worker runs the full {!Dml_core.Pipeline.check_s} on it
       against its own verdict cache (built lazily in the worker from the
       shared cache {e config}, so a [--cache-dir] is shared through the
       filesystem's atomic writes while the in-memory LRU stays per-worker);
@@ -58,9 +58,28 @@ type summary = {
 
 type row = { row_name : string; row_result : (summary, string) result }
 
+val summarize : Dml_core.Pipeline.report -> summary
+(** Project a report onto its marshallable summary — what crosses the pipe
+    from workers, and what the [dmld] server builds batch rows from when it
+    checks in-process against its own warm session. *)
+
 type mode =
   | Sequential  (** in-process, no forking: the reference the oracle tests compare against *)
   | Workers of int  (** a {!Pool} of this many forked workers *)
+
+val check_targets_s :
+  ?task_timeout_ms:int -> Dml_core.Session.options -> target list -> row list
+(** One row per target, in target order, under unified session options:
+    [op_jobs = None] checks in-process (sequentially), [Some 0] forks one
+    worker per core, [Some n] forks [n]; [op_shard_obligations] selects the
+    obligation grain (implying workers when [op_jobs] is unset).  The
+    verdict cache is built from [op_cache] at each execution site (the
+    in-memory LRU stays per-process, a [dir] is shared through the
+    filesystem).  [task_timeout_ms] is the pool watchdog for one task (a
+    whole program, or one obligation when sharding); under obligation
+    sharding it defaults to the config's per-obligation deadline plus a
+    grace period, so a worker whose in-process budget fails to fire still
+    cannot wedge the batch. *)
 
 val check_targets :
   ?mode:mode ->
@@ -70,12 +89,8 @@ val check_targets :
   ?cache:Dml_cache.Cache.config ->
   target list ->
   row list
-(** One row per target, in target order.  [mode] defaults to [Sequential];
-    [shard_obligations] only changes the behaviour of [Workers _].
-    [task_timeout_ms] is the pool watchdog for one task (a whole program, or
-    one obligation when sharding); under obligation sharding it defaults to
-    the config's per-obligation deadline plus a grace period, so a worker
-    whose in-process budget fails to fire still cannot wedge the batch. *)
+(** @deprecated Use {!check_targets_s} with {!Dml_core.Session.options}.
+    [mode] defaults to [Sequential]. *)
 
 val rows_json : row list -> Dml_obs.Json.t list
 (** Deterministic per-program rows:

@@ -19,8 +19,19 @@ type t1_row = {
   t1_code_lines : int;
 }
 
+(* an ephemeral per-row session: table rows are deliberately checked cold,
+   so one benchmark's verdicts never warm another's timings *)
+let check_cold ?(method_ = Dml_solver.Solver.Fm_tightened) src =
+  let options =
+    {
+      Session.default_options with
+      Session.op_solve = { Session.default_solve_config with Session.sc_method = method_ };
+    }
+  in
+  Pipeline.check_s (Session.create ~options ()) src
+
 let table1_row ?method_ (b : Programs.benchmark) =
-  match Pipeline.check ?method_ b.Programs.source with
+  match check_cold ?method_ b.Programs.source with
   | Error f -> Error (Pipeline.failure_to_string f)
   | Ok r ->
       if not r.Pipeline.rp_valid then Error (b.Programs.name ^ ": unproven constraints")
@@ -80,7 +91,7 @@ let time_pair f g =
   (!best_f, !best_g)
 
 let run_benchmark backend ~scale (b : Programs.benchmark) =
-  match Pipeline.check b.Programs.source with
+  match check_cold b.Programs.source with
   | Error f -> Error (Pipeline.failure_to_string f)
   | Ok report -> (
       let tprog = report.Pipeline.rp_tprog in

@@ -1,0 +1,86 @@
+(** The [dml-server/1] wire protocol.
+
+    Transport: length-prefixed frames ({!Dml_par.Frame.write_raw}/
+    {!Dml_par.Frame.read_raw} — the worker pool's framing discipline with a
+    verbatim payload) whose payload is one UTF-8 JSON document
+    ({!Dml_obs.Json}), over a Unix-domain socket or stdin/stdout
+    ([dmld --stdio]).  One request frame yields exactly one response frame,
+    in order; a connection may pipeline requests.
+
+    Request envelope (unknown fields are rejected, so typos fail loudly):
+    {v
+      { "op": "check" | "batch" | "status" | "metrics" | "shutdown",
+        "id": <any JSON, echoed back>?,          // correlation id
+        ... op-specific fields ... }
+    v}
+    - [check]: ["source"] (program text, required), ["program"] (display
+      name, default ["-"]), ["options"] (solve/mode overrides).
+    - [batch]: ["programs"]: array of [{"source", "program"?}], ["options"].
+    - [status], [metrics], [shutdown]: no extra fields.
+
+    Options overrides (["options"]): ["solver"] (["fm"]/["fm-plain"]/
+    ["simplex"]), ["escalate"], ["fuel"], ["timeout_ms"],
+    ["max_eliminations"], ["mode"] (["strict"]/["degrade"]).  Only the
+    solving policy and mode may change per request; the verdict cache and
+    parallelism shape belong to the server.
+
+    Response envelope:
+    {v
+      { "schema": "dml-server/1", "id": <echoed>, "op": <echoed>,
+        "ok": true, "memo": true?, "result": <document> }
+      { "schema": "dml-server/1", "id": <echoed>, "ok": false,
+        "error": { "code": <slug>, "msg": <human-readable> } }
+    v}
+    The [check] result is a [dml-check/1] document ({!Dml_core.Report_json})
+    — the same bytes [dmlc check --json] prints, modulo schedule-dependent
+    fields; the [batch] result is the deterministic [dml-batch/1] document;
+    [metrics] is [dml-metrics/1].
+
+    Error codes: ["bad-json"] (unparseable payload), ["bad-request"]
+    (envelope/field errors), ["oversized-frame"] (header announced more
+    than {!max_frame}; the connection is closed, since the stream cannot be
+    resynchronized). *)
+
+open Dml_obs
+
+val version : string
+(** ["dml-server/1"]. *)
+
+val max_frame : int
+(** Default payload cap (16 MiB): far above any real program, small enough
+    that a corrupt or hostile header cannot trigger a giant allocation. *)
+
+type request =
+  | Check of { program : string option; source : string; options : Json.t option }
+  | Batch of { programs : (string * string) list; options : Json.t option }
+      (** (display name, source) pairs *)
+  | Status
+  | Metrics
+  | Shutdown
+
+type envelope = { id : Json.t; req : request }
+(** [id] is [Json.Null] when the request carried none. *)
+
+val op_name : request -> string
+
+val parse_request : Json.t -> (envelope, string) result
+
+val apply_overrides :
+  Dml_core.Session.options -> Json.t -> (Dml_core.Session.options, string) result
+(** Apply a request's ["options"] object to the server's base options;
+    errors name the offending field. *)
+
+val ok_response : id:Json.t -> op:string -> ?memo:bool -> Json.t -> Json.t
+val error_response : id:Json.t -> code:string -> string -> Json.t
+
+val send : Unix.file_descr -> Json.t -> unit
+(** One compact-JSON frame. *)
+
+val recv :
+  ?max:int ->
+  Unix.file_descr ->
+  (Json.t, [ `Eof | `Oversized of int | `Bad_json of string | `Error of string ]) result
+(** One frame, parsed.  [`Bad_json] is a well-framed but unparseable
+    payload — the stream is still in sync, so the connection can continue;
+    [`Oversized] and [`Error] (truncation, corrupt header) leave it
+    unresynchronizable. *)

@@ -1,0 +1,289 @@
+open Dml_obs
+module Session = Dml_core.Session
+module Pipeline = Dml_core.Pipeline
+module Report_json = Dml_core.Report_json
+module Runner = Dml_par.Runner
+module Cache = Dml_cache.Cache
+
+let ops = [ "check"; "batch"; "status"; "metrics"; "shutdown" ]
+
+type t = {
+  t_session : Session.t;
+  t_memo : (string, Json.t) Hashtbl.t;
+      (** memo key ({!Session.memo_key} × program name) -> stored result
+          document, returned verbatim on a hit *)
+  mutable t_memo_hits : int;
+  t_requests : (string, int ref) Hashtbl.t;
+  t_started : float;
+  mutable t_stop : bool;
+}
+
+let create ?(options = Session.default_options) () =
+  let t_requests = Hashtbl.create 8 in
+  List.iter (fun op -> Hashtbl.replace t_requests op (ref 0)) ops;
+  {
+    t_session = Session.create ~options ();
+    t_memo = Hashtbl.create 64;
+    t_memo_hits = 0;
+    t_requests;
+    t_started = Clock.now ();
+    t_stop = false;
+  }
+
+let session t = t.t_session
+let stopping t = t.t_stop
+
+let count_request t op =
+  match Hashtbl.find_opt t.t_requests op with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.t_requests op (ref 1)
+
+(* The derived session for one request: base options plus the request's
+   overrides, sharing the server's warm cache (sound — verdicts are keyed
+   by method and budget tier). *)
+let request_session t = function
+  | None -> Ok (Session.options t.t_session, t.t_session)
+  | Some overrides ->
+      Result.map
+        (fun opts -> (opts, Session.with_options t.t_session opts))
+        (Protocol.apply_overrides (Session.options t.t_session) overrides)
+
+let check_doc session ~program source =
+  match Pipeline.check_s session source with
+  | Ok rp -> Report_json.of_report ~program rp
+  | Error f -> Report_json.of_failure ~program f
+
+let do_check t ~id ~program ~source ~options =
+  match request_session t options with
+  | Error e -> Protocol.error_response ~id ~code:"bad-request" e
+  | Ok (opts, session) ->
+      let program = Option.value program ~default:"-" in
+      (* the program name is part of the stored document, so it joins the
+         semantic key (source digest × options fingerprint) *)
+      let key = Session.memo_key opts source ^ ":" ^ Digest.to_hex (Digest.string program) in
+      (match Hashtbl.find_opt t.t_memo key with
+      | Some doc ->
+          t.t_memo_hits <- t.t_memo_hits + 1;
+          Protocol.ok_response ~id ~op:"check" ~memo:true doc
+      | None ->
+          let doc = check_doc session ~program source in
+          Hashtbl.replace t.t_memo key doc;
+          Protocol.ok_response ~id ~op:"check" doc)
+
+let do_batch t ~id ~programs ~options =
+  match request_session t options with
+  | Error e -> Protocol.error_response ~id ~code:"bad-request" e
+  | Ok (opts, session) ->
+      let rows =
+        match (opts.Session.op_jobs, opts.Session.op_shard_obligations) with
+        | None, false ->
+            (* in-process, against the server's warm session cache *)
+            List.map
+              (fun (name, src) ->
+                {
+                  Runner.row_name = name;
+                  Runner.row_result =
+                    (match Pipeline.check_s session src with
+                    | Ok rp -> Ok (Runner.summarize rp)
+                    | Error f -> Error (Pipeline.failure_to_string f));
+                })
+              programs
+        | _ ->
+            Runner.check_targets_s opts
+              (List.map
+                 (fun (name, src) -> { Runner.tg_name = name; Runner.tg_source = Ok src })
+                 programs)
+      in
+      Protocol.ok_response ~id ~op:"batch" (Runner.batch_json ~passes:[ rows ])
+
+let status_doc t =
+  let requests =
+    List.map
+      (fun op ->
+        (op, Json.Int (match Hashtbl.find_opt t.t_requests op with Some r -> !r | None -> 0)))
+      ops
+  in
+  Json.Obj
+    [
+      ("server", Json.String "dmld");
+      ("protocol", Json.String Protocol.version);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("uptime_s", Json.Float (Clock.now () -. t.t_started));
+      ("requests", Json.Obj requests);
+      ( "memo",
+        Json.Obj
+          [
+            ("entries", Json.Int (Hashtbl.length t.t_memo));
+            ("hits", Json.Int t.t_memo_hits);
+          ] );
+      ( "cache",
+        match Session.cache t.t_session with
+        | None -> Json.Null
+        | Some c -> Cache.snapshot_to_json (Cache.snapshot c) );
+      ("options", Session.options_to_json (Session.options t.t_session));
+    ]
+
+let handle t v =
+  match Protocol.parse_request v with
+  | Error e ->
+      let id = Option.value (Json.member "id" v) ~default:Json.Null in
+      Protocol.error_response ~id ~code:"bad-request" e
+  | Ok { Protocol.id; req } -> (
+      count_request t (Protocol.op_name req);
+      match req with
+      | Protocol.Check { program; source; options } -> do_check t ~id ~program ~source ~options
+      | Protocol.Batch { programs; options } -> do_batch t ~id ~programs ~options
+      | Protocol.Status -> Protocol.ok_response ~id ~op:"status" (status_doc t)
+      | Protocol.Metrics -> Protocol.ok_response ~id ~op:"metrics" (Metrics.to_json ())
+      | Protocol.Shutdown ->
+          t.t_stop <- true;
+          Protocol.ok_response ~id ~op:"shutdown" (Json.Obj [ ("stopping", Json.Bool true) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A write to a vanished peer must become an exception we can catch per
+   connection, not a process-killing SIGPIPE. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let serve_stdio ?(input = Unix.stdin) ?(output = Unix.stdout) t =
+  ignore_sigpipe ();
+  let rec loop () =
+    if not t.t_stop then
+      match Protocol.recv ~max:Protocol.max_frame input with
+      | Ok v ->
+          Protocol.send output (handle t v);
+          loop ()
+      | Error `Eof -> ()
+      | Error (`Bad_json msg) ->
+          (* the frame was consumed whole; the stream is still in sync *)
+          Protocol.send output (Protocol.error_response ~id:Json.Null ~code:"bad-json" msg);
+          loop ()
+      | Error (`Oversized n) ->
+          Protocol.send output
+            (Protocol.error_response ~id:Json.Null ~code:"oversized-frame"
+               (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n Protocol.max_frame))
+      | Error (`Error msg) ->
+          Protocol.send output (Protocol.error_response ~id:Json.Null ~code:"bad-json" msg)
+  in
+  loop ()
+
+type conn = { c_fd : Unix.file_descr; c_buf : Buffer.t }
+
+let close_conn conn = try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+let send_safe conn v =
+  try
+    Protocol.send conn.c_fd v;
+    true
+  with Unix.Unix_error _ -> false
+
+(* Decode and handle every complete frame sitting in [conn]'s buffer.
+   Returns [`Keep] (await more bytes) or [`Close]. *)
+let drain_frames t conn =
+  let rec go () =
+    let len = Buffer.length conn.c_buf in
+    if len < Dml_par.Frame.header_len then `Keep
+    else
+      let header = Bytes.of_string (Buffer.sub conn.c_buf 0 Dml_par.Frame.header_len) in
+      let flen64 = Bytes.get_int64_be header 0 in
+      if Int64.compare flen64 0L < 0 || Int64.compare flen64 (Int64.of_int Protocol.max_frame) > 0
+      then begin
+        (* the announced length is garbage or hostile: after an error
+           response there is no way back to a frame boundary *)
+        ignore
+          (send_safe conn
+             (Protocol.error_response ~id:Json.Null ~code:"oversized-frame"
+                (Printf.sprintf "frame of %Ld bytes exceeds the %d-byte limit" flen64
+                   Protocol.max_frame)));
+        `Close
+      end
+      else
+        let flen = Int64.to_int flen64 in
+        if len < Dml_par.Frame.header_len + flen then `Keep
+        else begin
+          let payload = Buffer.sub conn.c_buf Dml_par.Frame.header_len flen in
+          let rest =
+            Buffer.sub conn.c_buf
+              (Dml_par.Frame.header_len + flen)
+              (len - Dml_par.Frame.header_len - flen)
+          in
+          Buffer.clear conn.c_buf;
+          Buffer.add_string conn.c_buf rest;
+          let response =
+            match Json.of_string payload with
+            | Ok v -> handle t v
+            | Error msg -> Protocol.error_response ~id:Json.Null ~code:"bad-json" msg
+          in
+          if not (send_safe conn response) then `Close
+          else if t.t_stop then `Close
+          else go ()
+        end
+  in
+  go ()
+
+let read_chunk = Bytes.create 65536
+
+let service t conn =
+  match Unix.read conn.c_fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> `Close
+  | n ->
+      Buffer.add_subbytes conn.c_buf read_chunk 0 n;
+      drain_frames t conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Keep
+  | exception Unix.Unix_error (_, _, _) -> `Close
+
+let serve_unix t ~path =
+  ignore_sigpipe ();
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  let conns = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_conn !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not t.t_stop do
+        let fds = listen_fd :: List.map (fun c -> c.c_fd) !conns in
+        match Unix.select fds [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+            if List.mem listen_fd readable then begin
+              match Unix.accept listen_fd with
+              | fd, _ -> conns := !conns @ [ { c_fd = fd; c_buf = Buffer.create 256 } ]
+              | exception Unix.Unix_error (_, _, _) -> ()
+            end;
+            conns :=
+              List.filter
+                (fun conn ->
+                  if not (List.memq conn.c_fd readable) then true
+                  else
+                    match service t conn with
+                    | `Keep -> true
+                    | `Close ->
+                        close_conn conn;
+                        false)
+                !conns
+      done)
+
+let client_request ~socket req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+      | () -> (
+          Protocol.send fd req;
+          match Protocol.recv ~max:Protocol.max_frame fd with
+          | Ok v -> Ok v
+          | Error `Eof -> Error "server closed the connection without responding"
+          | Error (`Oversized n) -> Error (Printf.sprintf "oversized response (%d bytes)" n)
+          | Error (`Bad_json msg) -> Error ("bad JSON in response: " ^ msg)
+          | Error (`Error msg) -> Error msg))

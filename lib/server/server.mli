@@ -1,0 +1,52 @@
+(** The [dmld] check server: one long-lived {!Dml_core.Session.t} behind the
+    [dml-server/1] protocol ({!Protocol}).
+
+    Warm state that makes the server worth running:
+    - the session's shared verdict cache, so the basis and repeated goals
+      are solved once across every check of the server's lifetime;
+    - program-level memoization keyed by {!Dml_core.Session.memo_key}
+      (source digest × options fingerprint): a repeated [check] of an
+      unchanged program under unchanged options is answered from the memo —
+      zero solver calls — with the stored result document verbatim and
+      ["memo": true] in the envelope.
+
+    Concurrency model: a single-process [Unix.select] multiplexer.  Many
+    clients connect and pipeline; frames are decoded incrementally
+    per-connection, but requests are {e handled} serially (the solver,
+    cache and metrics registry are not thread-safe).  A [batch] request may
+    still fan out through the fork pool ({!Dml_par.Runner}) when the
+    server's options ask for workers. *)
+
+open Dml_obs
+
+type t
+
+val create : ?options:Dml_core.Session.options -> unit -> t
+(** A server over a fresh session built from [options] (default
+    {!Dml_core.Session.default_options}). *)
+
+val session : t -> Dml_core.Session.t
+
+val stopping : t -> bool
+(** Set by a [shutdown] request; the serve loops exit after responding. *)
+
+val handle : t -> Json.t -> Json.t
+(** Decode one request document and produce its response envelope —
+    transport-independent (both serve loops and in-process tests call
+    this).  Never raises: malformed requests become [bad-request]
+    responses. *)
+
+val serve_stdio : ?input:Unix.file_descr -> ?output:Unix.file_descr -> t -> unit
+(** One connection on stdin/stdout ([dmld --stdio]): read a frame, handle,
+    write a frame, until EOF or [shutdown].  A bad-JSON payload gets an
+    error response and the loop continues; a framing error gets an error
+    response and the loop exits (the stream cannot be resynchronized). *)
+
+val serve_unix : t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file is
+    replaced), multiplex connections with [Unix.select], and serve until a
+    [shutdown] request.  The socket file is removed on exit. *)
+
+val client_request : socket:string -> Json.t -> (Json.t, string) result
+(** One-shot client: connect to [socket], send one request frame, read one
+    response frame.  Used by [dmld request]/[dmld check] and the tests. *)

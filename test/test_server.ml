@@ -1,0 +1,392 @@
+(* dml-server/1 and the dmld server: request parsing and per-request
+   overrides, a golden request/response transcript covering every request
+   kind, malformed- and oversized-frame handling on a live stdio loop, the
+   warm-session oracle (a repeated check of an unchanged program does zero
+   solver calls and returns the identical document), and multi-client
+   byte-identity over a real Unix-domain socket.
+
+   Regenerating the golden transcript after an intentional schema change:
+
+     DML_SERVER_GOLDEN=$PWD/test/server_golden.json dune exec test/test_server.exe *)
+
+open Dml_server
+module J = Dml_obs.Json
+module Session = Dml_core.Session
+module Pipeline = Dml_core.Pipeline
+module Report_json = Dml_core.Report_json
+
+let src_ok = "val a = array(4, 0)\nval x = sub(a, 2)\n"
+let src_parse_err = "val x = "
+
+(* schedule-dependent report fields plus the server's own volatile figures *)
+let volatile =
+  Report_json.schedule_dependent_fields @ [ "pid"; "uptime_s"; "counters"; "histograms" ]
+
+let scrub v = J.scrub ~keys:volatile v
+
+let obj fields = J.Obj fields
+let str s = J.String s
+
+let cached_options =
+  { Session.default_options with Session.op_cache = Some Dml_cache.Cache.default_config }
+
+(* --- request parsing --------------------------------------------------------- *)
+
+let parse_error v =
+  match Protocol.parse_request v with
+  | Error e -> e
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_error_mentions what v sub =
+  let e = parse_error v in
+  Alcotest.(check bool) (what ^ ": " ^ e) true (contains ~sub e)
+
+let test_parse_errors () =
+  check_error_mentions "missing op" (obj []) "missing \"op\"";
+  check_error_mentions "op not string" (obj [ ("op", J.Int 3) ]) "\"op\" must be a string";
+  check_error_mentions "unknown op" (obj [ ("op", str "frobnicate") ]) "unknown op";
+  check_error_mentions "check without source" (obj [ ("op", str "check") ]) "missing \"source\"";
+  check_error_mentions "unknown field"
+    (obj [ ("op", str "check"); ("source", str "x"); ("sauce", str "y") ])
+    "unknown field \"sauce\"";
+  check_error_mentions "batch programs not array"
+    (obj [ ("op", str "batch"); ("programs", str "x") ])
+    "must be an array";
+  check_error_mentions "batch entry without source"
+    (obj [ ("op", str "batch"); ("programs", J.List [ obj [ ("program", str "p") ] ]) ])
+    "missing \"source\"";
+  check_error_mentions "status with stray field"
+    (obj [ ("op", str "status"); ("source", str "x") ])
+    "unknown field \"source\""
+
+let test_parse_ok () =
+  (match
+     Protocol.parse_request
+       (obj [ ("op", str "check"); ("id", J.Int 7); ("source", str "x"); ("program", str "p") ])
+   with
+  | Ok { Protocol.id; req = Protocol.Check { program; source; options } } ->
+      Alcotest.(check bool) "id echoed" true (id = J.Int 7);
+      Alcotest.(check (option string)) "program" (Some "p") program;
+      Alcotest.(check string) "source" "x" source;
+      Alcotest.(check bool) "no options" true (options = None)
+  | Ok _ -> Alcotest.fail "parsed to the wrong request"
+  | Error e -> Alcotest.fail e);
+  match
+    Protocol.parse_request
+      (obj
+         [
+           ("op", str "batch");
+           ( "programs",
+             J.List [ obj [ ("source", str "a") ]; obj [ ("source", str "b"); ("program", str "q") ] ]
+           );
+         ])
+  with
+  | Ok { Protocol.req = Protocol.Batch { programs; _ }; _ } ->
+      Alcotest.(check (list (pair string string)))
+        "names default positionally" [ ("p0", "a"); ("q", "b") ] programs
+  | Ok _ -> Alcotest.fail "parsed to the wrong request"
+  | Error e -> Alcotest.fail e
+
+let test_overrides () =
+  let base = Session.default_options in
+  (match
+     Protocol.apply_overrides base
+       (obj
+          [
+            ("solver", str "simplex");
+            ("escalate", J.Bool true);
+            ("fuel", J.Int 10);
+            ("mode", str "degrade");
+          ])
+   with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "solver" true
+        (o.Session.op_solve.Session.sc_method = Dml_solver.Solver.Simplex_rational);
+      Alcotest.(check bool) "escalate" true o.Session.op_solve.Session.sc_escalate;
+      Alcotest.(check (option int)) "fuel" (Some 10) o.Session.op_solve.Session.sc_fuel;
+      Alcotest.(check bool) "mode" true (o.Session.op_mode = Session.Degrade);
+      Alcotest.(check bool) "fingerprint moved" true
+        (Session.fingerprint o <> Session.fingerprint base));
+  (match Protocol.apply_overrides base (obj [ ("bogus", J.Int 1) ]) with
+  | Error e -> Alcotest.(check bool) ("bogus rejected: " ^ e) true (contains ~sub:"bogus" e)
+  | Ok _ -> Alcotest.fail "unknown option accepted");
+  match Protocol.apply_overrides base (obj [ ("solver", str "nope") ]) with
+  | Error e -> Alcotest.(check bool) ("bad solver rejected: " ^ e) true (contains ~sub:"nope" e)
+  | Ok _ -> Alcotest.fail "unknown solver accepted"
+
+(* --- golden transcript -------------------------------------------------------- *)
+
+(* One request of every kind (plus a malformed one) against a fresh server,
+   scrubbed of volatile fields.  The request counters and memo figures in
+   the status document are deterministic because the transcript order is. *)
+let transcript_requests =
+  [
+    obj [ ("op", str "check"); ("id", J.Int 1); ("program", str "ok.dml"); ("source", str src_ok) ];
+    obj
+      [
+        ("op", str "check");
+        ("id", J.Int 2);
+        ("program", str "broken.dml");
+        ("source", str src_parse_err);
+      ];
+    obj
+      [
+        ("op", str "batch");
+        ("id", J.Int 3);
+        ( "programs",
+          J.List
+            [
+              obj [ ("program", str "ok.dml"); ("source", str src_ok) ];
+              obj [ ("program", str "broken.dml"); ("source", str src_parse_err) ];
+            ] );
+      ];
+    obj [ ("op", str "status"); ("id", J.Int 4) ];
+    obj [ ("op", str "metrics"); ("id", J.Int 5) ];
+    obj [ ("op", str "frobnicate"); ("id", J.Int 6) ];
+    obj [ ("op", str "shutdown"); ("id", J.Int 7) ];
+  ]
+
+let run_transcript () =
+  let server = Server.create () in
+  let responses = List.map (fun req -> scrub (Server.handle server req)) transcript_requests in
+  Alcotest.(check bool) "shutdown request stops the server" true (Server.stopping server);
+  J.List responses
+
+let test_golden_transcript () =
+  let got = run_transcript () in
+  match Sys.getenv_opt "DML_SERVER_GOLDEN" with
+  | Some out -> (
+      match J.write_file out got with
+      | Ok () -> print_endline ("wrote golden transcript to " ^ out)
+      | Error msg -> Alcotest.fail msg)
+  | None -> (
+      let path =
+        if Sys.file_exists "server_golden.json" then "server_golden.json"
+        else "test/server_golden.json"
+      in
+      let ic = open_in path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match J.of_string raw with
+      | Error msg -> Alcotest.fail ("golden file does not parse: " ^ msg)
+      | Ok expected ->
+          Alcotest.(check string) "transcript matches the golden file" (J.to_string expected)
+            (J.to_string got))
+
+(* --- live stdio loop: framing errors ------------------------------------------ *)
+
+let rec write_all fd buf ofs len =
+  if len > 0 then begin
+    let n = Unix.write fd buf ofs len in
+    write_all fd buf (ofs + n) (len - n)
+  end
+
+let recv_ok what fd =
+  match Protocol.recv fd with
+  | Ok v -> v
+  | Error _ -> Alcotest.fail (what ^ ": expected a response frame")
+
+let expect_error_code what code resp =
+  (match J.member "ok" resp with
+  | Some (J.Bool false) -> ()
+  | _ -> Alcotest.fail (what ^ ": expected ok=false"));
+  match J.member "error" resp with
+  | Some err -> (
+      match J.member "code" err with
+      | Some (J.String c) -> Alcotest.(check string) (what ^ ": error code") code c
+      | _ -> Alcotest.fail (what ^ ": error without code"))
+  | None -> Alcotest.fail (what ^ ": no error object")
+
+let test_stdio_frames () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close req_w;
+      Unix.close resp_r;
+      (try Server.serve_stdio ~input:req_r ~output:resp_w (Server.create ()) with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close req_r;
+      Unix.close resp_w;
+      (* a valid request round-trips *)
+      Protocol.send req_w (obj [ ("op", str "check"); ("id", J.Int 1); ("source", str src_ok) ]);
+      let r1 = recv_ok "check" resp_r in
+      Alcotest.(check bool) "check ok" true (J.member "ok" r1 = Some (J.Bool true));
+      Alcotest.(check bool) "id echoed" true (J.member "id" r1 = Some (J.Int 1));
+      (* a well-framed but unparseable payload is rejected and the
+         connection survives *)
+      Dml_par.Frame.write_raw req_w "this is not json";
+      expect_error_code "bad json" "bad-json" (recv_ok "bad json" resp_r);
+      Protocol.send req_w (obj [ ("op", str "status") ]);
+      Alcotest.(check bool) "connection survives bad json" true
+        (J.member "ok" (recv_ok "status" resp_r) = Some (J.Bool true));
+      (* an oversized frame header gets an error response and closes the
+         stream (it cannot be resynchronized) *)
+      let header = Bytes.create 8 in
+      Bytes.set_int64_be header 0 (Int64.of_int (Protocol.max_frame + 1));
+      write_all req_w header 0 8;
+      expect_error_code "oversized" "oversized-frame" (recv_ok "oversized" resp_r);
+      (match Protocol.recv resp_r with
+      | Error `Eof -> ()
+      | _ -> Alcotest.fail "stream should close after an oversized frame");
+      Unix.close req_w;
+      Unix.close resp_r;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0)
+
+(* --- warm-session oracle ------------------------------------------------------ *)
+
+let counter_of metrics name =
+  match J.member "result" metrics with
+  | Some result -> (
+      match J.member "counters" result with
+      | Some counters -> (
+          match J.member name counters with Some (J.Int n) -> n | _ -> 0)
+      | None -> 0)
+  | None -> Alcotest.fail "metrics response has no result"
+
+let result_of what resp =
+  match J.member "result" resp with
+  | Some r -> r
+  | None -> Alcotest.fail (what ^ ": response has no result")
+
+(* The acceptance oracle: the second identical check is answered from the
+   program memo — the identical document, zero solver calls (verified
+   through the metrics request), and "memo": true in the envelope. *)
+let test_warm_oracle () =
+  let server = Server.create ~options:cached_options () in
+  let check_req id =
+    obj
+      [
+        ("op", str "check");
+        ("id", J.Int id);
+        ("program", str "warm.dml");
+        ("source", str Dml_programs.Sources.bsearch);
+      ]
+  in
+  let metrics_req = obj [ ("op", str "metrics") ] in
+  let r1 = Server.handle server (check_req 1) in
+  let m1 = Server.handle server metrics_req in
+  let r2 = Server.handle server (check_req 2) in
+  let m2 = Server.handle server metrics_req in
+  Alcotest.(check bool) "first check computes" true (J.member "memo" r1 = None);
+  Alcotest.(check bool) "second check is memoized" true (J.member "memo" r2 = Some (J.Bool true));
+  Alcotest.(check string) "identical result documents"
+    (J.to_string (result_of "r1" r1))
+    (J.to_string (result_of "r2" r2));
+  List.iter
+    (fun name ->
+      Alcotest.(check int)
+        (name ^ " unchanged by the warm repeat")
+        (counter_of m1 name) (counter_of m2 name))
+    [ "solver.goals"; "solver.uncached_solves"; "pipeline.runs"; "cache.lookups" ];
+  (* different options fingerprint -> different memo key -> a fresh check *)
+  let r3 =
+    Server.handle server
+      (obj
+         [
+           ("op", str "check");
+           ("id", J.Int 3);
+           ("program", str "warm.dml");
+           ("source", str Dml_programs.Sources.bsearch);
+           ("options", obj [ ("solver", str "simplex") ]);
+         ])
+  in
+  Alcotest.(check bool) "override misses the memo" true (J.member "memo" r3 = None);
+  Alcotest.(check bool) "override is still ok" true (J.member "ok" r3 = Some (J.Bool true))
+
+(* --- concurrent clients over a real socket ------------------------------------ *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let test_concurrent_clients () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "dml_test_server.sock" in
+  (try Sys.remove path with Sys_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+      (try Server.serve_unix (Server.create ~options:cached_options ()) ~path with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let rec await n =
+        if Sys.file_exists path then ()
+        else if n = 0 then Alcotest.fail "server socket never appeared"
+        else begin
+          Unix.sleepf 0.05;
+          await (n - 1)
+        end
+      in
+      await 100;
+      (* four clients connect, all send before any reads: the select loop
+         must multiplex them without losing or crossing responses *)
+      let conns = List.init 4 (fun _ -> connect path) in
+      List.iteri
+        (fun i fd ->
+          Protocol.send fd
+            (obj
+               [
+                 ("op", str "check");
+                 ("id", J.Int i);
+                 ("program", str "bcopy");
+                 ("source", str Dml_programs.Sources.bcopy);
+               ]))
+        conns;
+      let responses = List.mapi (fun i fd -> recv_ok (Printf.sprintf "client %d" i) fd) conns in
+      List.iteri
+        (fun i resp ->
+          Alcotest.(check bool) (Printf.sprintf "client %d ok" i) true
+            (J.member "ok" resp = Some (J.Bool true));
+          Alcotest.(check bool)
+            (Printf.sprintf "client %d id" i)
+            true
+            (J.member "id" resp = Some (J.Int i)))
+        responses;
+      (* all four result documents are byte-identical to each other and to a
+         one-shot in-process check (modulo schedule-dependent fields) *)
+      let results =
+        List.map (fun r -> J.to_string (scrub (result_of "client" r))) responses
+      in
+      List.iter
+        (fun r -> Alcotest.(check string) "identical across clients" (List.hd results) r)
+        results;
+      let oneshot =
+        let session = Session.create ~options:cached_options () in
+        match Pipeline.check_s session Dml_programs.Sources.bcopy with
+        | Ok rp -> Report_json.of_report ~program:"bcopy" rp
+        | Error f -> Alcotest.fail (Pipeline.failure_to_string f)
+      in
+      Alcotest.(check string) "byte-identical to a one-shot check"
+        (J.to_string (scrub oneshot))
+        (List.hd results);
+      (* shut the server down through one of the connections *)
+      Protocol.send (List.hd conns) (obj [ ("op", str "shutdown") ]);
+      Alcotest.(check bool) "shutdown ok" true
+        (J.member "ok" (recv_ok "shutdown" (List.hd conns)) = Some (J.Bool true));
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
+      Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse ok" `Quick test_parse_ok;
+          Alcotest.test_case "option overrides" `Quick test_overrides;
+        ] );
+      ("golden", [ Alcotest.test_case "transcript" `Quick test_golden_transcript ]);
+      ("frames", [ Alcotest.test_case "stdio loop" `Quick test_stdio_frames ]);
+      ("warm", [ Alcotest.test_case "memo oracle" `Quick test_warm_oracle ]);
+      ("socket", [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients ]);
+    ]
