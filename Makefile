@@ -1,4 +1,4 @@
-.PHONY: all check build test fuzz bench-json clean
+.PHONY: all check build test fuzz bench-json bench-load clean
 
 all: build
 
@@ -23,6 +23,12 @@ check: build
 bench-json: build
 	dune exec bin/dmlc.exe -- batch --all --json > BENCH_batch.json
 	dune exec bench/main.exe -- --json BENCH_micro.json
+
+# The dmld fault-injection load harness (schema dml-load/1): concurrent
+# clients against a pooled server with injected worker crashes and hangs.
+# Exits non-zero if any request degrades to a dropped or malformed response.
+bench-load: build
+	timeout 300 dune exec bench/load.exe -- --out BENCH_dmld.json
 
 clean:
 	dune clean

@@ -98,11 +98,32 @@ let cache_spec_term ~default_on =
     Arg.(value & opt int Dml_cache.Cache.default_config.Dml_cache.Cache.max_entries
          & info [ "cache-entries" ] ~docv:"N" ~doc)
   in
-  let build enabled disabled dir entries =
-    let wanted = (not disabled) && (enabled || dir <> None || default_on) in
-    if not wanted then None else Some { Dml_cache.Cache.max_entries = entries; dir }
+  let cache_disk_mb =
+    let doc = "Byte cap on the persistent --cache-dir, in MiB: past it the oldest \
+               entry and quarantine files are swept (0 = unbounded)." in
+    Arg.(value
+         & opt int (Dml_cache.Cache.default_config.Dml_cache.Cache.max_disk_bytes / (1024 * 1024))
+         & info [ "cache-disk-mb" ] ~docv:"MB" ~doc)
   in
-  Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries)
+  let cache_disk_entries =
+    let doc = "File-count cap on the persistent --cache-dir (0 = unbounded)." in
+    Arg.(value & opt int Dml_cache.Cache.default_config.Dml_cache.Cache.max_disk_entries
+         & info [ "cache-disk-entries" ] ~docv:"N" ~doc)
+  in
+  let build enabled disabled dir entries disk_mb disk_entries =
+    let wanted = (not disabled) && (enabled || dir <> None || default_on) in
+    if not wanted then None
+    else
+      Some
+        {
+          Dml_cache.Cache.max_entries = entries;
+          dir;
+          max_disk_bytes = disk_mb * 1024 * 1024;
+          max_disk_entries = disk_entries;
+        }
+  in
+  Term.(const build $ cache $ no_cache $ cache_dir $ cache_entries $ cache_disk_mb
+        $ cache_disk_entries)
 
 let cache_term ~default_on =
   let build spec = Option.map (fun config -> Dml_cache.Cache.create ~config ()) spec in

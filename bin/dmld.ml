@@ -26,12 +26,12 @@ let socket_arg =
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run config cache_spec degrade jobs shard stdio socket =
+  let run config cache_spec degrade jobs shard stdio socket request_timeout_ms max_queue =
     let mode = if degrade then Dml_core.Session.Degrade else Dml_core.Session.Strict in
     let options =
       session_options ~mode ?jobs ~shard_obligations:shard ~solve:config ~cache_spec ()
     in
-    let server = Server.create ~options () in
+    let server = Server.create ~options ~request_timeout_ms ~max_queue () in
     if stdio then Server.serve_stdio server
     else begin
       prerr_endline ("dmld: listening on " ^ socket);
@@ -42,15 +42,36 @@ let serve_cmd =
     let doc = "Serve a single connection on stdin/stdout instead of a socket." in
     Arg.(value & flag & info [ "stdio" ] ~doc)
   in
+  let request_timeout_ms =
+    let doc =
+      "Per-request deadline in milliseconds under a worker pool (-j): a worker past it \
+       is killed and the request retried once on a fresh worker, then answered with a \
+       $(b,timeout) error.  0 disables the deadline.  Inert without -j."
+    in
+    Arg.(
+      value
+      & opt int Server.default_request_timeout_ms
+      & info [ "request-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_queue =
+    let doc =
+      "Bound on requests queued behind busy workers under a worker pool (-j); past it \
+       new check/batch requests are shed immediately with an $(b,overloaded) error.  \
+       Inert without -j."
+    in
+    Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Run the persistent check server.  The verdict cache is enabled by default \
-     (--no-cache disables it); -j/--shard-obligations shape how batch requests \
-     fan out across forked workers."
+     (--no-cache disables it); -j puts check and batch requests on a pool of warm \
+     forked workers with per-request deadlines (--request-timeout-ms), bounded \
+     queueing (--max-queue) and crash recovery; --shard-obligations shapes how \
+     batch requests fan out."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ solve_config $ cache_spec_term ~default_on:true $ degrade_flag
-      $ batch_jobs_term $ shard_term $ stdio $ socket_arg)
+      $ batch_jobs_term $ shard_term $ stdio $ socket_arg $ request_timeout_ms $ max_queue)
 
 (* --- client helpers ---------------------------------------------------------- *)
 

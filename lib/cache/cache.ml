@@ -4,9 +4,22 @@ type verdict = Store.verdict =
   | Unsupported of string
   | Timeout of string
 
-type config = { max_entries : int; dir : string option }
+type config = {
+  max_entries : int;
+  dir : string option;
+  max_disk_bytes : int;
+  max_disk_entries : int;
+}
 
-let default_config = { max_entries = 4096; dir = None }
+let default_config =
+  {
+    max_entries = 4096;
+    dir = None;
+    (* generous but finite: a shared --cache-dir serving a farm of dmld
+       workers must not grow without bound *)
+    max_disk_bytes = 64 * 1024 * 1024;
+    max_disk_entries = 100_000;
+  }
 
 type snapshot = {
   s_hits : int;
@@ -15,6 +28,8 @@ type snapshot = {
   s_stores : int;
   s_evictions : int;
   s_corrupt : int;
+  s_quarantined : int;
+  s_disk_evictions : int;
   s_entries : int;
   s_lookup_time : float;
   s_persist_time : float;
@@ -31,7 +46,9 @@ type t = {
 
 let create ?(config = default_config) () =
   {
-    store = Store.create ~max_entries:config.max_entries ?dir:config.dir ();
+    store =
+      Store.create ~max_entries:config.max_entries ?dir:config.dir
+        ~max_disk_bytes:config.max_disk_bytes ~max_disk_entries:config.max_disk_entries ();
     hits = 0;
     disk_hits = 0;
     misses = 0;
@@ -104,6 +121,8 @@ let snapshot t =
     s_stores = t.stores;
     s_evictions = Store.evictions t.store;
     s_corrupt = Store.corrupt_entries t.store;
+    s_quarantined = Store.quarantined t.store;
+    s_disk_evictions = Store.disk_evictions t.store;
     s_entries = Store.size t.store;
     s_lookup_time = t.lookup_time;
     s_persist_time = Store.persist_time t.store;
@@ -117,6 +136,8 @@ let diff later earlier =
     s_stores = later.s_stores - earlier.s_stores;
     s_evictions = later.s_evictions - earlier.s_evictions;
     s_corrupt = later.s_corrupt - earlier.s_corrupt;
+    s_quarantined = later.s_quarantined - earlier.s_quarantined;
+    s_disk_evictions = later.s_disk_evictions - earlier.s_disk_evictions;
     s_entries = later.s_entries;
     s_lookup_time = later.s_lookup_time -. earlier.s_lookup_time;
     s_persist_time = later.s_persist_time -. earlier.s_persist_time;
@@ -124,10 +145,14 @@ let diff later earlier =
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "hits: %d (%d from disk), misses: %d, stores: %d, evictions: %d, entries: %d%s, \
+    "hits: %d (%d from disk), misses: %d, stores: %d, evictions: %d, entries: %d%s%s, \
      lookup: %.4fs, persist: %.4fs"
     s.s_hits s.s_disk_hits s.s_misses s.s_stores s.s_evictions s.s_entries
-    (if s.s_corrupt > 0 then Printf.sprintf ", corrupt: %d" s.s_corrupt else "")
+    (if s.s_corrupt > 0 then
+       Printf.sprintf ", corrupt: %d (%d quarantined)" s.s_corrupt s.s_quarantined
+     else "")
+    (if s.s_disk_evictions > 0 then Printf.sprintf ", disk evictions: %d" s.s_disk_evictions
+     else "")
     s.s_lookup_time s.s_persist_time
 
 let snapshot_to_json s =
@@ -139,6 +164,8 @@ let snapshot_to_json s =
       ("stores", Dml_obs.Json.Int s.s_stores);
       ("evictions", Dml_obs.Json.Int s.s_evictions);
       ("corrupt", Dml_obs.Json.Int s.s_corrupt);
+      ("quarantined", Dml_obs.Json.Int s.s_quarantined);
+      ("disk_evictions", Dml_obs.Json.Int s.s_disk_evictions);
       ("entries", Dml_obs.Json.Int s.s_entries);
       ("lookup_s", Dml_obs.Json.Float s.s_lookup_time);
       ("persist_s", Dml_obs.Json.Float s.s_persist_time);
@@ -152,6 +179,8 @@ let config_to_json c =
         match c.dir with
         | None -> Dml_obs.Json.Null
         | Some d -> Dml_obs.Json.String d );
+      ("max_disk_bytes", Dml_obs.Json.Int c.max_disk_bytes);
+      ("max_disk_entries", Dml_obs.Json.Int c.max_disk_entries);
     ]
 
 let digest_goal = Canon.digest

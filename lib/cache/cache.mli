@@ -34,10 +34,15 @@ type verdict = Store.verdict =
 type config = {
   max_entries : int;  (** LRU capacity of the memo table; [<= 0] unbounded *)
   dir : string option;  (** persistent on-disk store ([--cache-dir]) *)
+  max_disk_bytes : int;
+      (** byte cap on the persistent directory; the oldest files are swept
+          when it is exceeded ([<= 0] unbounded) *)
+  max_disk_entries : int;  (** file-count cap on the persistent directory *)
 }
 
 val default_config : config
-(** 4096 memo entries, no persistent layer. *)
+(** 4096 memo entries, no persistent layer; a persistent directory (when
+    one is configured) is capped at 64 MiB / 100k files. *)
 
 type snapshot = {
   s_hits : int;  (** lookups answered from the cache *)
@@ -46,6 +51,8 @@ type snapshot = {
   s_stores : int;  (** verdicts recorded *)
   s_evictions : int;  (** LRU evictions *)
   s_corrupt : int;  (** corrupt disk entries treated as misses *)
+  s_quarantined : int;  (** corrupt entries renamed aside ([*.bad]) *)
+  s_disk_evictions : int;  (** files deleted by the capacity sweep *)
   s_entries : int;  (** memo-table entries right now *)
   s_lookup_time : float;  (** seconds spent in cache lookups (incl. disk reads) *)
   s_persist_time : float;  (** seconds spent reading/writing the disk layer *)

@@ -15,17 +15,24 @@ type node = {
 type t = {
   max_entries : int;
   dir : string option;
+  max_disk_bytes : int;
+  max_disk_entries : int;
   table : (string, node) Hashtbl.t;
   mutable mru : node option;
   mutable lru : node option;
   mutable evictions : int;
   mutable corrupt : int;
+  mutable quarantined : int;
+  mutable disk_evictions : int;
+  mutable writes_since_sweep : int;
   mutable persist_time : float;
 }
 
 (* process-wide registry mirrors of the per-store counters *)
 let m_evictions = Dml_obs.Metrics.counter "cache.evictions"
 let m_corrupt = Dml_obs.Metrics.counter "cache.corrupt"
+let m_quarantined = Dml_obs.Metrics.counter "cache.quarantined"
+let m_disk_evictions = Dml_obs.Metrics.counter "cache.disk_evictions"
 let m_disk_reads = Dml_obs.Metrics.counter "cache.disk_reads"
 let m_disk_writes = Dml_obs.Metrics.counter "cache.disk_writes"
 
@@ -143,6 +150,18 @@ let disk_read t key =
         let corrupt () =
           t.corrupt <- t.corrupt + 1;
           Dml_obs.Metrics.incr m_corrupt;
+          (* quarantine: move the damaged file out of the entry namespace so
+             the next lookup is a clean miss instead of re-validating it, and
+             so the bytes stay inspectable until the eviction sweep reclaims
+             them.  Best-effort: a concurrent writer may have just replaced
+             the file, in which case the rename moves (or misses) the
+             replacement — either way the store stays consistent because
+             every read is validated. *)
+          (match Sys.rename path (path ^ ".bad") with
+          | () ->
+              t.quarantined <- t.quarantined + 1;
+              Dml_obs.Metrics.incr m_quarantined
+          | exception Sys_error _ -> ());
           None
         in
         match read_file path with
@@ -187,6 +206,80 @@ let write_fault_injection : (out_channel -> unit) ref = ref (fun _ -> ())
    (worker processes of the parallel pool are already distinct by pid). *)
 let tmp_seq = ref 0
 
+(* ------------------------------------------------------------------ *)
+(* Disk eviction sweep                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Temp files left by a writer that died mid-write are reclaimed once they
+   are unambiguously stale; live writers rename within milliseconds. *)
+let stale_tmp_age_s = 600.
+let sweep_write_period = 32
+
+(* Bring the persistent directory back under the byte/entry caps by
+   deleting the oldest cache-owned files first (entries and quarantined
+   [.bad] files both count — quarantine must not grow unbounded either).
+   Concurrent sweepers are safe: deletion is best-effort per file, and a
+   file that a concurrent writer just replaced simply costs one re-solve.
+   Caps of [<= 0] mean unbounded. *)
+let sweep t =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> ()
+      | names ->
+          let now = Unix.gettimeofday () in
+          let files = ref [] in
+          Array.iter
+            (fun name ->
+              let path = Filename.concat dir name in
+              let is_tmp =
+                (* "<digest>.dmlv.tmp.<pid>.<seq>": an in-flight or orphaned
+                   atomic-write staging file *)
+                let rec find i =
+                  i + 10 <= String.length name
+                  && (String.sub name i 10 = ".dmlv.tmp." || find (i + 1))
+                in
+                find 0
+              in
+              match Unix.stat path with
+              | exception Unix.Unix_error _ -> ()
+              | st ->
+                  if st.Unix.st_kind <> Unix.S_REG then ()
+                  else if is_tmp then begin
+                    if now -. st.Unix.st_mtime > stale_tmp_age_s then
+                      try Sys.remove path with Sys_error _ -> ()
+                  end
+                  else if
+                    Filename.check_suffix name ".dmlv"
+                    || Filename.check_suffix name ".dmlv.bad"
+                  then
+                    files := (st.Unix.st_mtime, name, path, st.Unix.st_size) :: !files)
+            names;
+          let files =
+            List.sort
+              (fun (ma, na, _, _) (mb, nb, _, _) ->
+                match compare (ma : float) mb with 0 -> compare na nb | c -> c)
+              !files
+          in
+          let total_bytes = ref (List.fold_left (fun a (_, _, _, s) -> a + s) 0 files) in
+          let total_files = ref (List.length files) in
+          let over () =
+            (t.max_disk_entries > 0 && !total_files > t.max_disk_entries)
+            || (t.max_disk_bytes > 0 && !total_bytes > t.max_disk_bytes)
+          in
+          List.iter
+            (fun (_, _, path, size) ->
+              if over () then
+                match Sys.remove path with
+                | () ->
+                    total_bytes := !total_bytes - size;
+                    decr total_files;
+                    t.disk_evictions <- t.disk_evictions + 1;
+                    Dml_obs.Metrics.incr m_disk_evictions
+                | exception Sys_error _ -> ())
+            files)
+
 (* Best-effort atomic write: a unique temp file in the same directory, then
    rename.  Any filesystem error leaves the cache functional (memo-only).
    The channel is closed on every path — including a failing write — before
@@ -198,7 +291,7 @@ let disk_write t key entry =
       let path = file_of_key dir key in
       incr tmp_seq;
       let tmp = Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_seq in
-      match open_out_bin tmp with
+      (match open_out_bin tmp with
       | exception Sys_error _ -> ()
       | oc -> (
           match
@@ -211,13 +304,20 @@ let disk_write t key entry =
               with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
           | exception Sys_error _ ->
               close_out_noerr oc;
-              (try Sys.remove tmp with Sys_error _ -> ())))
+              (try Sys.remove tmp with Sys_error _ -> ())));
+      if t.max_disk_bytes > 0 || t.max_disk_entries > 0 then begin
+        t.writes_since_sweep <- t.writes_since_sweep + 1;
+        if t.writes_since_sweep >= sweep_write_period then begin
+          t.writes_since_sweep <- 0;
+          sweep t
+        end
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Public interface                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let create ?(max_entries = 4096) ?dir () =
+let create ?(max_entries = 4096) ?dir ?(max_disk_bytes = 0) ?(max_disk_entries = 0) () =
   let dir =
     match dir with
     | None -> None
@@ -226,20 +326,33 @@ let create ?(max_entries = 4096) ?dir () =
         | () -> if Sys.is_directory d then Some d else None
         | exception (Unix.Unix_error _ | Sys_error _) -> None)
   in
-  {
-    max_entries;
-    dir;
-    table = Hashtbl.create 256;
-    mru = None;
-    lru = None;
-    evictions = 0;
-    corrupt = 0;
-    persist_time = 0.;
-  }
+  let t =
+    {
+      max_entries;
+      dir;
+      max_disk_bytes;
+      max_disk_entries;
+      table = Hashtbl.create 256;
+      mru = None;
+      lru = None;
+      evictions = 0;
+      corrupt = 0;
+      quarantined = 0;
+      disk_evictions = 0;
+      writes_since_sweep = 0;
+      persist_time = 0.;
+    }
+  in
+  (* a directory inherited over the caps (say, from a run with larger ones)
+     is brought back under them before first use *)
+  if max_disk_bytes > 0 || max_disk_entries > 0 then sweep t;
+  t
 
 let size t = Hashtbl.length t.table
 let evictions t = t.evictions
 let corrupt_entries t = t.corrupt
+let quarantined t = t.quarantined
+let disk_evictions t = t.disk_evictions
 let persist_time t = t.persist_time
 
 let disk_file t key = Option.map (fun dir -> file_of_key dir key) t.dir

@@ -22,11 +22,22 @@ type entry = { e_tier : int; e_verdict : verdict }
 
 type t
 
-val create : ?max_entries:int -> ?dir:string -> unit -> t
+val create :
+  ?max_entries:int ->
+  ?dir:string ->
+  ?max_disk_bytes:int ->
+  ?max_disk_entries:int ->
+  unit ->
+  t
 (** [max_entries] bounds the in-memory table (default 4096; [<= 0] means
     unbounded).  [dir] enables the persistent layer; it is created when
     missing.  A directory that cannot be created or written disables
-    persistence silently (the memo table still works). *)
+    persistence silently (the memo table still works).
+
+    [max_disk_bytes]/[max_disk_entries] cap the persistent directory
+    (default 0 = unbounded): when either cap is exceeded, {!sweep} deletes
+    the oldest cache-owned files first.  With a cap set, a sweep runs at
+    [create] and then every {!val-sweep_write_period} disk writes. *)
 
 val find : t -> string -> (entry * [ `Mem | `Disk ]) option
 (** Memo-table lookup first, then the persistent layer; a disk hit is
@@ -50,6 +61,29 @@ val evictions : t -> int
 val corrupt_entries : t -> int
 (** Disk entries rejected by the length/checksum validation and treated as
     misses. *)
+
+val quarantined : t -> int
+(** Of the corrupt entries, how many were successfully renamed aside (to
+    [<file>.bad]) so subsequent lookups miss cleanly; the sweep reclaims
+    quarantined files along with ordinary entries. *)
+
+val disk_evictions : t -> int
+(** Files deleted by the capacity sweep since [create]. *)
+
+val sweep : t -> unit
+(** Force a capacity sweep of the persistent directory now: delete the
+    oldest cache-owned files ([*.dmlv] entries and [*.dmlv.bad] quarantine
+    files, by mtime then name) until both caps hold, and reclaim staging
+    temp files older than {!stale_tmp_age_s}.  A no-op without a persistent
+    layer.  Safe under concurrent readers, writers and sweepers: every
+    deletion is best-effort and every read re-validates. *)
+
+val sweep_write_period : int
+(** Disk writes between automatic sweeps when a cap is set. *)
+
+val stale_tmp_age_s : float
+(** Age past which an orphaned [*.dmlv.tmp.*] staging file (a writer died
+    mid-write) is deleted by the sweep. *)
 
 val persist_time : t -> float
 (** Wall-clock seconds spent reading and writing the persistent layer. *)

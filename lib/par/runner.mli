@@ -102,3 +102,12 @@ val aggregate_json : row list -> Dml_obs.Json.t
 
 val batch_json : passes:row list list -> Dml_obs.Json.t
 (** The full deterministic [dml-batch/1] document. *)
+
+val test_injection : string -> unit
+(** Test-only fault injection, shared by every fork-worker execution site
+    (the batch pool and the [dmld] dispatcher): if [DML_PAR_TEST_CRASH]
+    names the given task, the calling process exits with code 66; if
+    [DML_PAR_TEST_HANG] names it, the call never returns.  A no-op
+    otherwise.  The environment survives the fork, which is what lets the
+    oracle tests and the load harness provoke a crash or hang on one
+    specific task without touching the checker. *)

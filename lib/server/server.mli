@@ -8,33 +8,61 @@
       (source digest × options fingerprint): a repeated [check] of an
       unchanged program under unchanged options is answered from the memo —
       zero solver calls — with the stored result document verbatim and
-      ["memo": true] in the envelope.
+      ["memo": true] in the envelope.  The memo always lives in the {e
+      parent} process, including under a worker pool.
 
-    Concurrency model: a single-process [Unix.select] multiplexer.  Many
-    clients connect and pipeline; frames are decoded incrementally
-    per-connection, but requests are {e handled} serially (the solver,
-    cache and metrics registry are not thread-safe).  A [batch] request may
-    still fan out through the fork pool ({!Dml_par.Runner}) when the
-    server's options ask for workers. *)
+    Concurrency model.  Without a worker pool (no [op_jobs] in the
+    options), the socket loop is a single-process non-blocking
+    [Unix.select] multiplexer: frames are assembled incrementally
+    per-connection and responses are buffered per-connection (a half-sent
+    frame to a slow reader never stalls other clients), but check work runs
+    inline and serially.  With [op_jobs] set, check/batch work is handed to
+    a {!Dispatch} pool of warm forked workers: requests from many clients
+    proceed concurrently, each under a per-request deadline, with a bounded
+    admission queue ([overloaded] past the bound) and crash/hang recovery
+    (one retry on a fresh worker, then a structured [worker-lost]/[timeout]
+    error — never a dropped connection).  In pool mode responses to one
+    connection may interleave across its pipelined requests (a memo hit or
+    [status] overtakes an in-flight check); clients correlate by the
+    envelope [id].  Identical concurrent checks (same memo key) coalesce
+    onto one worker run. *)
 
 open Dml_obs
 
 type t
 
-val create : ?options:Dml_core.Session.options -> unit -> t
+val default_request_timeout_ms : int
+(** 30_000 — the default per-request deadline under a worker pool. *)
+
+val create :
+  ?options:Dml_core.Session.options ->
+  ?request_timeout_ms:int ->
+  ?max_queue:int ->
+  unit ->
+  t
 (** A server over a fresh session built from [options] (default
-    {!Dml_core.Session.default_options}). *)
+    {!Dml_core.Session.default_options}).  When [options.op_jobs] is set, a
+    {!Dispatch} worker pool is forked at creation ([Some 0]: one worker per
+    core) and check/batch requests run on it; [request_timeout_ms] (default
+    {!default_request_timeout_ms}; [<= 0] disables) bounds each attempt,
+    and [max_queue] (default 256) bounds admitted-but-unassigned requests.
+    Both are inert without a pool. *)
 
 val session : t -> Dml_core.Session.t
 
 val stopping : t -> bool
 (** Set by a [shutdown] request; the serve loops exit after responding. *)
 
+val pooled : t -> bool
+(** Whether a worker pool backs this server. *)
+
 val handle : t -> Json.t -> Json.t
 (** Decode one request document and produce its response envelope —
-    transport-independent (both serve loops and in-process tests call
-    this).  Never raises: malformed requests become [bad-request]
-    responses. *)
+    transport-independent (the stdio loop and in-process tests call this).
+    Never raises: malformed requests become [bad-request] responses.  Under
+    a worker pool a check/batch request is dispatched and driven to
+    completion synchronously, so deadlines and crash recovery apply here
+    too. *)
 
 val serve_stdio : ?input:Unix.file_descr -> ?output:Unix.file_descr -> t -> unit
 (** One connection on stdin/stdout ([dmld --stdio]): read a frame, handle,
@@ -44,8 +72,10 @@ val serve_stdio : ?input:Unix.file_descr -> ?output:Unix.file_descr -> t -> unit
 
 val serve_unix : t -> path:string -> unit
 (** Listen on a Unix-domain socket at [path] (an existing socket file is
-    replaced), multiplex connections with [Unix.select], and serve until a
-    [shutdown] request.  The socket file is removed on exit. *)
+    replaced), multiplex connections non-blockingly, and serve until a
+    [shutdown] request.  After [shutdown] the loop drains: in-flight pool
+    jobs resolve (bounded by their deadlines, 10 s grace cap) and buffered
+    responses flush before the socket file is removed. *)
 
 val client_request : socket:string -> Json.t -> (Json.t, string) result
 (** One-shot client: connect to [socket], send one request frame, read one

@@ -167,7 +167,7 @@ let test_lru_eviction () =
   Alcotest.(check bool) "new key present" true (Store.find s "k3" <> None)
 
 let test_cache_eviction_counter () =
-  let c = Cache.create ~config:{ Cache.max_entries = 2; dir = None } () in
+  let c = Cache.create ~config:{ Cache.default_config with Cache.max_entries = 2 } () in
   Cache.add c ~digest:"d1" ~method_:"fm" ~tier:1 Cache.Valid;
   Cache.add c ~digest:"d2" ~method_:"fm" ~tier:1 Cache.Valid;
   Cache.add c ~digest:"d3" ~method_:"fm" ~tier:1 Cache.Valid;
@@ -313,6 +313,108 @@ let test_tmp_names_unique () =
       Alcotest.(check bool) "temp names of successive writes differ" true (a <> b)
   | l -> Alcotest.failf "expected two temp files over two writes, saw %d" (List.length l)
 
+(* --- crash safety: quarantine, bounded growth, concurrent writers ------------- *)
+
+(* A corrupt entry is not only a miss: it is renamed aside (so it is never
+   re-read and re-rejected on every lookup) and counted. *)
+let test_quarantine () =
+  let dir = temp_dir () in
+  let s1 = Store.create ~dir () in
+  Store.add s1 "key" (entry 3 Store.Valid);
+  let path = Option.get (Store.disk_file s1 "key") in
+  flip_last_byte path;
+  let s2 = Store.create ~dir () in
+  Alcotest.(check bool) "corrupt entry is a miss" true (Store.find s2 "key" = None);
+  Alcotest.(check int) "quarantine counted" 1 (Store.quarantined s2);
+  Alcotest.(check bool) "entry renamed aside" true (Sys.file_exists (path ^ ".bad"));
+  Alcotest.(check bool) "poisoned file gone" false (Sys.file_exists path);
+  (* the slot is writable again, and the rewrite reads back *)
+  Store.add s2 "key" (entry 3 Store.Valid);
+  let s3 = Store.create ~dir () in
+  (match Store.find s3 "key" with
+  | Some (e, `Disk) -> Alcotest.(check int) "rewritten entry reads back" 3 e.Store.e_tier
+  | _ -> Alcotest.fail "rewritten entry not found");
+  Alcotest.(check int) "no further quarantine" 0 (Store.quarantined s3)
+
+let dmlv_files dir =
+  Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".dmlv")
+
+let test_sweep_cap () =
+  let dir = temp_dir () in
+  let s = Store.create ~dir ~max_disk_entries:3 () in
+  for i = 1 to 8 do
+    Store.add s (Printf.sprintf "key%d" i) (entry 1 Store.Valid);
+    (* distinct mtimes, so oldest-first is deterministic *)
+    Unix.sleepf 0.01
+  done;
+  Store.sweep s;
+  Alcotest.(check int) "swept down to the entry cap" 3 (List.length (dmlv_files dir));
+  Alcotest.(check bool) "evictions counted" true (Store.disk_evictions s >= 5);
+  (* quarantined copies count toward the cap and age out with everything
+     else: push the directory over again with fresh entries, and the old
+     group — the renamed .bad among it — is what gets reclaimed *)
+  let survivor = List.hd (dmlv_files dir) in
+  Sys.rename (Filename.concat dir survivor) (Filename.concat dir (survivor ^ ".bad"));
+  Unix.sleepf 0.01;
+  for i = 9 to 11 do
+    Store.add s (Printf.sprintf "key%d" i) (entry 1 Store.Valid);
+    Unix.sleepf 0.01
+  done;
+  Store.sweep s;
+  Alcotest.(check bool) "quarantined copy swept under the cap" false
+    (Sys.file_exists (Filename.concat dir (survivor ^ ".bad")));
+  Alcotest.(check int) "still at the cap" 3 (List.length (dmlv_files dir))
+
+let test_sweep_byte_cap () =
+  let dir = temp_dir () in
+  let s0 = Store.create ~dir () in
+  Store.add s0 "k1" (entry 1 Store.Valid);
+  Unix.sleepf 0.01;
+  Store.add s0 "k2" (entry 1 Store.Valid);
+  let bytes =
+    List.fold_left
+      (fun a f -> a + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (dmlv_files dir)
+  in
+  (* a budget one byte short of both entries: creating a capped store over
+     the directory sweeps exactly the older one *)
+  let _s = Store.create ~dir ~max_disk_bytes:(bytes - 1) () in
+  Alcotest.(check int) "byte cap enforced at open" 1 (List.length (dmlv_files dir))
+
+(* Many processes writing the same directory — including the same keys —
+   must never produce a torn read: tmp+rename keeps every published entry
+   whole, whichever writer wins. *)
+let test_concurrent_writers () =
+  let dir = temp_dir () in
+  let n_writers = 4 and n_keys = 25 in
+  let pids =
+    List.init n_writers (fun w ->
+        match Unix.fork () with
+        | 0 ->
+            let s = Store.create ~dir () in
+            for i = 1 to n_keys do
+              Store.add s (Printf.sprintf "key%d" i) (entry ((w + i) mod 5) Store.Valid)
+            done;
+            Unix._exit 0
+        | pid -> pid)
+  in
+  List.iter
+    (fun pid ->
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "writer exited cleanly" true (status = Unix.WEXITED 0))
+    pids;
+  let s = Store.create ~dir () in
+  for i = 1 to n_keys do
+    match Store.find s (Printf.sprintf "key%d" i) with
+    | Some ({ Store.e_verdict = Store.Valid; _ }, _) -> ()
+    | Some _ -> Alcotest.failf "key%d read back a wrong verdict" i
+    | None -> Alcotest.failf "key%d unreadable after concurrent writes" i
+  done;
+  Alcotest.(check int) "no torn entries" 0 (Store.corrupt_entries s);
+  Alcotest.(check int) "nothing quarantined" 0 (Store.quarantined s);
+  Alcotest.(check int) "every writer's files were counted once" n_keys
+    (List.length (dmlv_files dir))
+
 (* --- solver integration ------------------------------------------------------- *)
 
 let test_solver_hits () =
@@ -435,6 +537,13 @@ let () =
           Alcotest.test_case "foreign file" `Quick test_foreign_file_is_a_miss;
           Alcotest.test_case "cache-level corruption" `Quick test_cache_level_corruption;
           Alcotest.test_case "unique temp names" `Quick test_tmp_names_unique;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "quarantine" `Quick test_quarantine;
+          Alcotest.test_case "entry-cap sweep" `Quick test_sweep_cap;
+          Alcotest.test_case "byte-cap sweep" `Quick test_sweep_byte_cap;
+          Alcotest.test_case "concurrent writers" `Quick test_concurrent_writers;
         ] );
       ( "solver",
         [

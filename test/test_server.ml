@@ -376,6 +376,156 @@ let test_concurrent_clients () =
       Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0);
       Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
 
+(* --- fault tolerance under a worker pool -------------------------------------- *)
+
+(* The robustness oracle: with the pool's fault hooks armed, every faulted
+   request still gets a well-formed dml-server/1 error document ("timeout" /
+   "worker-lost" / "overloaded"), and the parent's warm state — memo,
+   session cache, serve loop — survives untouched.  The hooks key on the
+   *program name* ([Runner.test_injection] in the worker), so one poisoned
+   name faults deterministically while the rest of the mix stays healthy. *)
+
+let crash_name = "inject-crash.dml"
+let hang_name = "inject-hang.dml"
+
+let with_fault_env f =
+  Unix.putenv "DML_PAR_TEST_CRASH" crash_name;
+  Unix.putenv "DML_PAR_TEST_HANG" hang_name;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DML_PAR_TEST_CRASH" "";
+      Unix.putenv "DML_PAR_TEST_HANG" "")
+    f
+
+let pooled_options = { cached_options with Session.op_jobs = Some 1 }
+
+let fork_pooled_server ?(max_queue = 256) ~path () =
+  (try Sys.remove path with Sys_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Server.serve_unix
+           (Server.create ~options:pooled_options ~request_timeout_ms:300 ~max_queue ())
+           ~path
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let rec await n =
+        if Sys.file_exists path then ()
+        else if n = 0 then Alcotest.fail "pooled server socket never appeared"
+        else begin
+          Unix.sleepf 0.05;
+          await (n - 1)
+        end
+      in
+      await 100;
+      pid
+
+let check_req ?(id = 0) name source =
+  obj
+    [
+      ("op", str "check");
+      ("id", J.Int id);
+      ("program", str name);
+      ("source", str source);
+    ]
+
+let shutdown_and_reap fd pid =
+  Protocol.send fd (obj [ ("op", str "shutdown") ]);
+  ignore (recv_ok "shutdown" fd);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0)
+
+let test_pool_faults () =
+  with_fault_env (fun () ->
+      let path = Filename.concat (Filename.get_temp_dir_name ()) "dml_test_faults.sock" in
+      let pid = fork_pooled_server ~path () in
+      let fd = connect path in
+      let roundtrip what req =
+        Protocol.send fd req;
+        recv_ok what fd
+      in
+      (* a healthy pooled check is ok — and byte-identical to an in-process
+         one-shot check (modulo schedule-dependent fields) *)
+      let healthy = roundtrip "healthy" (check_req ~id:1 "bcopy" Dml_programs.Sources.bcopy) in
+      Alcotest.(check bool) "healthy ok" true (J.member "ok" healthy = Some (J.Bool true));
+      let oneshot =
+        let session = Session.create ~options:cached_options () in
+        match Pipeline.check_s session Dml_programs.Sources.bcopy with
+        | Ok rp -> Report_json.of_report ~program:"bcopy" rp
+        | Error f -> Alcotest.fail (Pipeline.failure_to_string f)
+      in
+      Alcotest.(check string) "pooled result byte-identical to one-shot"
+        (J.to_string (scrub oneshot))
+        (J.to_string (scrub (result_of "healthy" healthy)));
+      (* a crash mid-request degrades to a structured worker-lost error
+         (the retry worker crashes too — the hook is deterministic) *)
+      expect_error_code "crashed worker" "worker-lost"
+        (roundtrip "crash" (check_req ~id:2 crash_name src_ok));
+      (* the parent survived: the memo still answers instantly *)
+      let warm = roundtrip "memo" (check_req ~id:3 "bcopy" Dml_programs.Sources.bcopy) in
+      Alcotest.(check bool) "memo hit after the crash" true
+        (J.member "memo" warm = Some (J.Bool true));
+      Alcotest.(check string) "memo document unchanged by the crash"
+        (J.to_string (result_of "healthy" healthy))
+        (J.to_string (result_of "warm" warm));
+      (* a hung worker runs into the deadline twice and degrades to a
+         structured timeout *)
+      let t0 = Unix.gettimeofday () in
+      expect_error_code "hung worker" "timeout"
+        (roundtrip "hang" (check_req ~id:4 hang_name src_ok));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout bounded by two deadlines plus backoff (%.2fs)" elapsed)
+        true
+        (elapsed >= 0.3 && elapsed < 5.0);
+      (* still alive: a fresh program checks fine on a respawned worker *)
+      let after =
+        roundtrip "after" (check_req ~id:5 "bsearch" Dml_programs.Sources.bsearch)
+      in
+      Alcotest.(check bool) "fresh check after hang" true
+        (J.member "ok" after = Some (J.Bool true));
+      (* the status document's pool object accounts for the carnage *)
+      let status = roundtrip "status" (obj [ ("op", str "status") ]) in
+      let pool =
+        match Option.bind (J.member "result" status) (J.member "pool") with
+        | Some p -> p
+        | None -> Alcotest.fail "pooled status has no pool object"
+      in
+      let fault name =
+        match Option.bind (J.member "faults" pool) (J.member name) with
+        | Some (J.Int n) -> n
+        | _ -> Alcotest.failf "pool.faults.%s missing" name
+      in
+      Alcotest.(check bool) "retries counted" true (fault "retries" >= 2);
+      Alcotest.(check bool) "respawns counted" true (fault "workers_respawned" >= 3);
+      Alcotest.(check bool) "timeout counted" true (fault "timeouts" >= 1);
+      Alcotest.(check bool) "loss counted" true (fault "worker_lost" >= 1);
+      shutdown_and_reap fd pid)
+
+(* Admission control: with one worker wedged and a zero-length queue, the
+   next request is shed immediately with "overloaded" — and the same
+   request succeeds once the wedged one has resolved. *)
+let test_pool_shedding () =
+  with_fault_env (fun () ->
+      let path = Filename.concat (Filename.get_temp_dir_name ()) "dml_test_shed.sock" in
+      let pid = fork_pooled_server ~max_queue:0 ~path () in
+      let c1 = connect path in
+      let c2 = connect path in
+      Protocol.send c1 (check_req ~id:1 hang_name src_ok);
+      Unix.sleepf 0.1;
+      (* the only worker is hanging on c1's request *)
+      Protocol.send c2 (check_req ~id:2 "ok.dml" src_ok);
+      expect_error_code "shed while wedged" "overloaded" (recv_ok "shed" c2);
+      expect_error_code "the wedged request times out" "timeout" (recv_ok "hang" c1);
+      Protocol.send c2 (check_req ~id:3 "ok.dml" src_ok);
+      let r = recv_ok "after shed" c2 in
+      Alcotest.(check bool) "accepted after the pool drained" true
+        (J.member "ok" r = Some (J.Bool true));
+      (try Unix.close c1 with Unix.Unix_error _ -> ());
+      shutdown_and_reap c2 pid)
+
 let () =
   Alcotest.run "server"
     [
@@ -389,4 +539,9 @@ let () =
       ("frames", [ Alcotest.test_case "stdio loop" `Quick test_stdio_frames ]);
       ("warm", [ Alcotest.test_case "memo oracle" `Quick test_warm_oracle ]);
       ("socket", [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients ]);
+      ( "faults",
+        [
+          Alcotest.test_case "crash, hang, recovery" `Quick test_pool_faults;
+          Alcotest.test_case "load shedding" `Quick test_pool_shedding;
+        ] );
     ]
