@@ -1,4 +1,4 @@
-.PHONY: all check build test fuzz bench-json bench-load clean
+.PHONY: all check build test fuzz bench-json bench-load bench-gate clean
 
 all: build
 
@@ -29,6 +29,12 @@ bench-json: build
 # Exits non-zero if any request degrades to a dropped or malformed response.
 bench-load: build
 	timeout 300 dune exec bench/load.exe -- --out BENCH_dmld.json
+
+# Latency regression gate: run the harness at the baseline's configuration
+# and fail when the warm p95 regresses past the checked-in band (wide by
+# design — it catches lost-memo-class regressions, not percent drift).
+bench-gate: bench-load
+	dune exec bench/gate.exe -- --run BENCH_dmld.json --baseline bench/baseline_dmld.json
 
 clean:
 	dune clean

@@ -159,6 +159,7 @@ let latency_doc samples =
       ("requests", J.Int (Array.length a));
       ("p50_ms", J.Float (percentile a 0.50));
       ("p90_ms", J.Float (percentile a 0.90));
+      ("p95_ms", J.Float (percentile a 0.95));
       ("p99_ms", J.Float (percentile a 0.99));
       ("max_ms", J.Float (percentile a 1.0));
     ]

@@ -14,17 +14,30 @@ module J = Dml_obs.Json
 module Trace = Dml_obs.Trace
 module Metrics = Dml_obs.Metrics
 
+(* A bundled benchmark name; [NAME:unannotated] names its stripped twin
+   (the --infer corpus); anything else is a file path. *)
+let twin_suffix = ":unannotated"
+
 let read_source path_or_name =
   match Dml_programs.Programs.find path_or_name with
   | Some b -> Ok b.Dml_programs.Programs.source
   | None -> (
+      let n = String.length path_or_name and sn = String.length twin_suffix in
+      let twin =
+        if n > sn && String.sub path_or_name (n - sn) sn = twin_suffix then
+          Dml_programs.Sources_unannotated.find (String.sub path_or_name 0 (n - sn))
+        else None
+      in
+      match twin with
+      | Some t -> Ok t.Dml_programs.Sources_unannotated.u_source
+      | None -> (
       try
         let ic = open_in path_or_name in
         let n = in_channel_length ic in
         let s = really_input_string ic n in
         close_in ic;
         Ok s
-      with Sys_error msg -> Error msg)
+      with Sys_error msg -> Error msg))
 
 let exit_err msg =
   prerr_endline msg;
@@ -168,14 +181,25 @@ let shard_term =
 
 (* --- session assembly -------------------------------------------------------- *)
 
-let session_options ?(mode = Session.Strict) ?jobs ?(shard_obligations = false) ~solve
-    ~cache_spec () =
+let infer_term =
+  Arg.(
+    value & flag
+    & info [ "infer" ]
+        ~doc:"Liquid-qualifier annotation inference: synthesize dependent-type \
+              templates for unannotated functions, iterate a qualifier fixpoint \
+              against the solver, and check the program under the inferred \
+              types.  Inference never proves a site the annotated checker would \
+              reject; unprovable sites degrade exactly as without $(b,--infer).")
+
+let session_options ?(mode = Session.Strict) ?jobs ?(shard_obligations = false)
+    ?(infer = false) ~solve ~cache_spec () =
   {
     Session.op_solve = solve;
     op_cache = cache_spec;
     op_mode = mode;
     op_jobs = jobs;
     op_shard_obligations = shard_obligations;
+    op_infer = infer;
   }
 
 (* --- observability: --trace FILE, --profile, --json -------------------------- *)

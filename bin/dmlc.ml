@@ -52,27 +52,63 @@ let with_source ~json file k =
 (* --- check ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run config cache_spec stats degrade obs file =
+  let run config cache_spec stats degrade infer obs file =
     with_source ~json:obs.ob_json file (fun src ->
         let mode = if degrade then Session.Degrade else Session.Strict in
         let session =
-          Session.create ~options:(session_options ~mode ~solve:config ~cache_spec ()) ()
+          Session.create ~options:(session_options ~mode ~infer ~solve:config ~cache_spec ()) ()
         in
-        let result, sink = with_sink obs (fun () -> Pipeline.check_s session src) in
+        (* under --infer the document schema bumps to dml-check/2 (it gains
+           the "inferred" object); without it, output stays byte-identical *)
+        let schema = if infer then Some "dml-check/2" else None in
+        let result, sink =
+          with_sink obs (fun () ->
+              if infer then
+                match Dml_infer.Engine.check_s session src with
+                | Error f -> Error f
+                | Ok oc -> Ok (oc.Dml_infer.Engine.oc_report, Some oc)
+              else
+                match Pipeline.check_s session src with
+                | Error f -> Error f
+                | Ok report -> Ok (report, None))
+        in
         match result with
         | Error f ->
             if obs.ob_json then begin
-              emit_json (Report_json.of_failure ~program:file ~extra:(obs_fields obs sink) f);
+              emit_json
+                (Report_json.of_failure ?schema ~program:file ~extra:(obs_fields obs sink) f);
               exit 1
             end
             else exit_err (Diagnose.render_failure ~src f)
-        | Ok report ->
+        | Ok (report, outcome) ->
             if obs.ob_json then begin
-              emit_json (Report_json.of_report ~program:file ~extra:(obs_fields obs sink) report);
+              let extra =
+                (match outcome with
+                | Some oc -> [ ("inferred", Dml_infer.Engine.infer_json ~program:file oc) ]
+                | None -> [])
+                @ obs_fields obs sink
+              in
+              emit_json (Report_json.of_report ?schema ~program:file ~extra report);
               if (not report.Pipeline.rp_valid) && not degrade then exit 1
             end
             else begin
               Format.printf "%a@." Pipeline.pp_report report;
+              (match outcome with
+              | None -> ()
+              | Some oc ->
+                  let st = oc.Dml_infer.Engine.oc_stats in
+                  Format.printf
+                    "inference: liquid vars=%d rounds=%d qualifiers tested=%d kept=%d@."
+                    st.Dml_infer.Engine.st_liquid_vars st.Dml_infer.Engine.st_iterations
+                    st.Dml_infer.Engine.st_quals_tested st.Dml_infer.Engine.st_quals_kept;
+                  List.iter
+                    (fun (fs : Dml_infer.Engine.fun_solution) ->
+                      Format.printf "  inferred %s : %s@." fs.Dml_infer.Engine.fs_fun
+                        fs.Dml_infer.Engine.fs_type)
+                    oc.Dml_infer.Engine.oc_solution;
+                  match oc.Dml_infer.Engine.oc_abandoned with
+                  | Some why -> Format.printf "inference abandoned (checked plainly): %s@." why
+                  | None -> ());
               if stats then print_stats report;
               List.iter
                 (fun (msg, loc) ->
@@ -98,7 +134,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ solve_config $ cache_spec_term ~default_on:false $ stats_flag $ degrade_flag
-      $ obs_term $ file_arg)
+      $ infer_term $ obs_term $ file_arg)
 
 (* --- batch ------------------------------------------------------------------ *)
 
@@ -110,10 +146,10 @@ let check_cmd =
    worker pool, print/emit rows in input order.  The JSON document contains
    only schedule-independent fields, so it is byte-identical across -j
    widths; the text table keeps the volatile timing/cache columns. *)
-let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
+let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~infer ~obs targets =
   let jobs_n = if jobs <= 0 then Dml_par.Pool.cpu_count () else jobs in
   let options =
-    session_options ~jobs:jobs_n ~shard_obligations:shard ~solve:config ~cache_spec ()
+    session_options ~jobs:jobs_n ~shard_obligations:shard ~infer ~solve:config ~cache_spec ()
   in
   let resolved =
     List.map
@@ -163,7 +199,11 @@ let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
   in
   ignore sink;
   if obs.ob_json then begin
-    let doc = Dml_par.Runner.batch_json ~passes:(List.rev !passes) in
+    let doc =
+      Dml_par.Runner.batch_json
+        ?schema:(if infer then Some "dml-batch/2" else None)
+        ~passes:(List.rev !passes) ()
+    in
     (* --profile opts into volatile figures, forfeiting byte-stability *)
     let doc =
       if obs.ob_profile then
@@ -178,20 +218,30 @@ let batch_parallel ~config ~cache_spec ~jobs ~shard ~repeat ~obs targets =
   if !failures > 0 then exit 1
 
 let batch_cmd =
-  let run config cache_spec jobs shard all repeat obs files =
+  let run config cache_spec jobs shard all all_unannot repeat infer obs files =
     let named =
       if all then List.map (fun b -> b.Dml_programs.Programs.name) Dml_programs.Programs.all
       else []
     in
-    let targets = named @ files in
+    let named_twins =
+      if all_unannot then
+        List.map
+          (fun (t : Dml_programs.Sources_unannotated.twin) ->
+            t.Dml_programs.Sources_unannotated.u_name ^ twin_suffix)
+          Dml_programs.Sources_unannotated.all
+      else []
+    in
+    let targets = named @ named_twins @ files in
     if targets = [] then exit_err "batch: no programs given (pass FILE... or --all)";
     if repeat < 1 then exit_err "batch: --repeat must be at least 1";
     if jobs <> None || shard then
       batch_parallel ~config ~cache_spec
         ~jobs:(Option.value jobs ~default:0)
-        ~shard ~repeat ~obs targets
+        ~shard ~repeat ~infer ~obs targets
     else begin
-    let session = Session.create ~options:(session_options ~solve:config ~cache_spec ()) () in
+    let session =
+      Session.create ~options:(session_options ~infer ~solve:config ~cache_spec ()) ()
+    in
     let cache = Session.cache session in
     let failures = ref 0 in
     let pass_docs = ref [] in
@@ -215,7 +265,14 @@ let batch_cmd =
                       J.Obj [ ("program", J.String target); ("error", J.String msg) ] :: !rows;
                     if not obs.ob_json then Format.printf "%-16s %-10s %s@." target "error" msg
                 | Ok src -> (
-                    match Pipeline.check_s session src with
+                    let checked =
+                      if infer then
+                        match Dml_infer.Engine.check_s session src with
+                        | Error f -> Error f
+                        | Ok oc -> Ok oc.Dml_infer.Engine.oc_report
+                      else Pipeline.check_s session src
+                    in
+                    match checked with
                     | Error f ->
                         incr agg_fail;
                         rows :=
@@ -249,17 +306,18 @@ let batch_cmd =
                         | None -> ());
                         rows :=
                           J.Obj
-                            [
-                              ("program", J.String target);
-                              ("valid", J.Bool r.Pipeline.rp_valid);
-                              ("residual", J.Int r.Pipeline.rp_residual);
-                              ("constraints", J.Int r.Pipeline.rp_constraints);
-                              ("goals", J.Int goals);
-                              ("cache_hits", J.Int hits);
-                              ("cache_misses", J.Int s.Dml_solver.Solver.cache_misses);
-                              ("solve_s", J.Float r.Pipeline.rp_solve_time);
-                              ("gen_s", J.Float r.Pipeline.rp_gen_time);
-                            ]
+                            ([
+                               ("program", J.String target);
+                               ("valid", J.Bool r.Pipeline.rp_valid);
+                               ("residual", J.Int r.Pipeline.rp_residual);
+                               ("constraints", J.Int r.Pipeline.rp_constraints);
+                               ("goals", J.Int goals);
+                               ("cache_hits", J.Int hits);
+                               ("cache_misses", J.Int s.Dml_solver.Solver.cache_misses);
+                               ("solve_s", J.Float r.Pipeline.rp_solve_time);
+                               ("gen_s", J.Float r.Pipeline.rp_gen_time);
+                             ]
+                            @ if infer then [ ("inferred", J.Bool true) ] else [])
                           :: !rows;
                         if not obs.ob_json then
                           Format.printf "%-16s %-10s %5d %6d %6d %6d %9.4f %9.4f@." target
@@ -304,7 +362,7 @@ let batch_cmd =
       emit_json
         (J.Obj
            ([
-              ("schema", J.String "dml-batch/1");
+              ("schema", J.String (if infer then "dml-batch/2" else "dml-batch/1"));
               ("passes", J.List (List.rev !pass_docs));
               ( "cache",
                 match cache with
@@ -329,6 +387,13 @@ let batch_cmd =
   let all =
     Arg.(value & flag & info [ "all" ] ~doc:"Also check every bundled benchmark program.")
   in
+  let all_unannot =
+    Arg.(
+      value & flag
+      & info [ "all-unannotated" ]
+          ~doc:"Also check every bundled unannotated twin (the $(b,--infer) corpus; \
+                rows are named $(i,NAME):unannotated).")
+  in
   let repeat =
     Arg.(
       value & opt int 1
@@ -343,7 +408,7 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ solve_config $ cache_spec_term ~default_on:true $ batch_jobs_term $ shard_term
-      $ all $ repeat $ obs_term $ files)
+      $ all $ all_unannot $ repeat $ infer_term $ obs_term $ files)
 
 (* --- constraints ---------------------------------------------------------------- *)
 
@@ -507,20 +572,22 @@ let pooled_rows ~jobs ~row_of_benchmark =
        | Error e -> Error (Dml_par.Pool.error_to_string e))
 
 let table1_cmd =
-  let run jobs obs =
+  let run infer jobs obs =
     let rows, sink =
       with_sink obs (fun () ->
           match jobs with
-          | None -> Dml_programs.Tables.table1 ()
+          | None -> Dml_programs.Tables.table1 ~infer ()
           | Some jobs ->
               pooled_rows ~jobs ~row_of_benchmark:(fun b ->
-                  Dml_programs.Tables.table1_row b))
+                  Dml_programs.Tables.table1_row ~infer b))
     in
     if obs.ob_json then
       emit_json
         (J.Obj
            ([
-              ("schema", J.String "dml-table1/1");
+              (* /2 only when the inferred column is requested: the default
+                 document stays byte-identical *)
+              ("schema", J.String (if infer then "dml-table1/2" else "dml-table1/1"));
               ( "rows",
                 J.List
                   (List.map
@@ -528,16 +595,21 @@ let table1_cmd =
                        | Error msg -> J.Obj [ ("error", J.String msg) ]
                        | Ok (r : Dml_programs.Tables.t1_row) ->
                            J.Obj
-                             [
-                               ("program", J.String r.Dml_programs.Tables.t1_name);
-                               ("constraints", J.Int r.Dml_programs.Tables.t1_constraints);
-                               ("gen_s", J.Float r.Dml_programs.Tables.t1_gen_s);
-                               ("solve_s", J.Float r.Dml_programs.Tables.t1_solve_s);
-                               ("annotations", J.Int r.Dml_programs.Tables.t1_annotations);
-                               ( "annotation_lines",
-                                 J.Int r.Dml_programs.Tables.t1_annotation_lines );
-                               ("code_lines", J.Int r.Dml_programs.Tables.t1_code_lines);
-                             ])
+                             ([
+                                ("program", J.String r.Dml_programs.Tables.t1_name);
+                                ("constraints", J.Int r.Dml_programs.Tables.t1_constraints);
+                                ("gen_s", J.Float r.Dml_programs.Tables.t1_gen_s);
+                                ("solve_s", J.Float r.Dml_programs.Tables.t1_solve_s);
+                                ("annotations", J.Int r.Dml_programs.Tables.t1_annotations);
+                                ( "annotation_lines",
+                                  J.Int r.Dml_programs.Tables.t1_annotation_lines );
+                                ("code_lines", J.Int r.Dml_programs.Tables.t1_code_lines);
+                              ]
+                             @
+                             match r.Dml_programs.Tables.t1_inferred with
+                             | None -> []
+                             | Some (Ok n) -> [ ("inferred_residual", J.Int n) ]
+                             | Some (Error msg) -> [ ("inferred_error", J.String msg) ]))
                      rows) );
             ]
            @ obs_fields obs sink))
@@ -547,8 +619,9 @@ let table1_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1.")
-    Term.(const run $ table_jobs_term $ obs_term)
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table 1 (--infer adds the \
+                             inferred-residual column from the unannotated twins).")
+    Term.(const run $ infer_term $ table_jobs_term $ obs_term)
 
 let table23_cmd =
   let run backend scale jobs obs =

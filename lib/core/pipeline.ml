@@ -122,12 +122,10 @@ let failure_of_exn = function
         f_loc = Loc.dummy;
       }
 
-let frontend_exn src =
-  let t0 = Budget.now () in
-  (* parse the basis, then the user program (keeping its annotation spans) *)
+let frontend_ast_exn ?t0 ~src ~spans user_prog =
+  let t0 = match t0 with Some t -> t | None -> Budget.now () in
   let sp = Trace.start "parse" in
   let basis_prog = Parser.parse_program Basis.source in
-  let user_prog, spans = Parser.parse_program_with_spans src in
   Trace.finish sp;
   let annotations, annotation_lines = annotation_metrics spans in
   (* phase 1 over basis + user code *)
@@ -155,8 +153,21 @@ let frontend_exn src =
     fe_denv = res_denv;
   }
 
+let frontend_exn src =
+  let t0 = Budget.now () in
+  let sp = Trace.start "parse" in
+  let user_prog, spans = Parser.parse_program_with_spans src in
+  Trace.finish sp;
+  frontend_ast_exn ~t0 ~src ~spans user_prog
+
 let frontend src =
   match frontend_exn src with
+  | fe -> Ok fe
+  | exception Sys.Break -> raise Sys.Break
+  | exception e -> Error (failure_of_exn e)
+
+let frontend_ast ~src ~spans user_prog =
+  match frontend_ast_exn ~src ~spans user_prog with
   | fe -> Ok fe
   | exception Sys.Break -> raise Sys.Break
   | exception e -> Error (failure_of_exn e)

@@ -98,6 +98,21 @@ val frontend : string -> (frontend, failure) result
 (** Parse, ML inference, dependent elaboration — everything before solving.
     Never raises (same failure conversion as {!check}). *)
 
+val frontend_ast :
+  src:string -> spans:(int * int) list -> Ast.program -> (frontend, failure) result
+(** Like {!frontend}, but on an already-parsed (possibly rewritten) user
+    program: the annotation-inference engine ({!Dml_infer.Engine}) parses
+    once, attaches synthesized type templates to the AST, and re-runs ML
+    inference + elaboration per fixpoint round through this entry.  [src]
+    only feeds the code-line metric; [spans] are the annotation spans of the
+    {e original} source, so synthesized templates never count as
+    hand-written annotations. *)
+
+val failure_of_exn : exn -> failure
+(** The pipeline's exception-to-failure conversion (staged front-end errors
+    and the catch-all [`Internal] case), exposed for engines that stage
+    front-end calls themselves. *)
+
 val solve_obligation_s :
   Session.t -> ?stats:Solver.stats -> Elab.obligation -> checked_obligation
 (** Decide one obligation under a fresh budget built from the session's

@@ -41,10 +41,10 @@ let obligation_to_json (co : Pipeline.checked_obligation) =
     @ json_of_verdict co.Pipeline.co_verdict
     @ [ ("dur_s", J.Float co.Pipeline.co_time) ])
 
-let of_report ~program ?(extra = []) (r : Pipeline.report) =
+let of_report ?(schema = "dml-check/1") ~program ?(extra = []) (r : Pipeline.report) =
   J.Obj
     ([
-       ("schema", J.String "dml-check/1");
+       ("schema", J.String schema);
        ("program", J.String program);
        ("valid", J.Bool r.Pipeline.rp_valid);
        ("constraints", J.Int r.Pipeline.rp_constraints);
@@ -81,18 +81,18 @@ let stage_slug = function
   | `Elab -> "elab"
   | `Internal -> "internal"
 
-let failure_doc ~program ~extra fields =
+let failure_doc ~schema ~program ~extra fields =
   J.Obj
     ([
-       ("schema", J.String "dml-check/1");
+       ("schema", J.String schema);
        ("program", J.String program);
        ("valid", J.Bool false);
        ("failure", J.Obj fields);
      ]
     @ extra)
 
-let of_failure ~program ?(extra = []) (f : Pipeline.failure) =
-  failure_doc ~program ~extra
+let of_failure ?(schema = "dml-check/1") ~program ?(extra = []) (f : Pipeline.failure) =
+  failure_doc ~schema ~program ~extra
     [
       ("stage", J.String (stage_slug f.Pipeline.f_stage));
       ("stage_name", J.String (Pipeline.stage_name f.Pipeline.f_stage));
@@ -100,8 +100,8 @@ let of_failure ~program ?(extra = []) (f : Pipeline.failure) =
       ("loc", J.String (Format.asprintf "%a" Dml_lang.Loc.pp f.Pipeline.f_loc));
     ]
 
-let of_io_failure ~program ?(extra = []) msg =
-  failure_doc ~program ~extra
+let of_io_failure ?(schema = "dml-check/1") ~program ?(extra = []) msg =
+  failure_doc ~schema ~program ~extra
     [
       ("stage", J.String "io");
       ("stage_name", J.String "input error");

@@ -19,9 +19,16 @@ val obligation_to_json : Pipeline.checked_obligation -> Dml_obs.Json.t
 (** One ["obligations"] element: what, loc, verdict (+detail), duration. *)
 
 val of_report :
-  program:string -> ?extra:(string * Dml_obs.Json.t) list -> Pipeline.report -> Dml_obs.Json.t
+  ?schema:string ->
+  program:string ->
+  ?extra:(string * Dml_obs.Json.t) list ->
+  Pipeline.report ->
+  Dml_obs.Json.t
 (** The full [dml-check/1] document for a completed check.  [extra] fields
-    ([spans], [metrics]) are appended at the end. *)
+    ([spans], [metrics]) are appended at the end.  [schema] (default
+    ["dml-check/1"]) is bumped to ["dml-check/2"] by callers checking under
+    [--infer], whose documents additionally carry an ["inferred"] field —
+    pre-inference consumers never see either change. *)
 
 val stage_slug : [ `Lex | `Parse | `Mltype | `Elab | `Internal ] -> string
 (** Machine-readable stage tag (["lex"], ["parse"], ["mltype"], ["elab"],
@@ -30,13 +37,21 @@ val stage_slug : [ `Lex | `Parse | `Mltype | `Elab | `Internal ] -> string
     (["failure"."stage_name"]). *)
 
 val of_failure :
-  program:string -> ?extra:(string * Dml_obs.Json.t) list -> Pipeline.failure -> Dml_obs.Json.t
+  ?schema:string ->
+  program:string ->
+  ?extra:(string * Dml_obs.Json.t) list ->
+  Pipeline.failure ->
+  Dml_obs.Json.t
 (** The failure form: [{schema, program, valid: false,
     failure: {stage, stage_name, msg, loc}}].  Emitted for front-end
     failures (lex/parse/mltype/elab) and internal errors. *)
 
 val of_io_failure :
-  program:string -> ?extra:(string * Dml_obs.Json.t) list -> string -> Dml_obs.Json.t
+  ?schema:string ->
+  program:string ->
+  ?extra:(string * Dml_obs.Json.t) list ->
+  string ->
+  Dml_obs.Json.t
 (** The failure form for input that could not be read at all (missing
     file, unreadable path): stage ["io"]. *)
 

@@ -35,6 +35,7 @@ type options = {
   op_mode : mode;
   op_jobs : int option;
   op_shard_obligations : bool;
+  op_infer : bool;
 }
 
 let default_options =
@@ -44,13 +45,13 @@ let default_options =
     op_mode = Strict;
     op_jobs = None;
     op_shard_obligations = false;
+    op_infer = false;
   }
 
 let json_of_int_opt = function None -> Json.Null | Some n -> Json.Int n
 
-let options_to_json o =
-  Json.Obj
-    [
+let options_fields o =
+  [
       ( "solve",
         Json.Obj
           [
@@ -68,6 +69,12 @@ let options_to_json o =
       ("jobs", json_of_int_opt o.op_jobs);
       ("shard_obligations", Json.Bool o.op_shard_obligations);
     ]
+    (* emitted only when set: every pre-inference fingerprint, memo key and
+       golden transcript stays byte-stable, while inferring and
+       non-inferring checks can never share a memo or cache entry *)
+    @ if o.op_infer then [ ("infer", Json.Bool true) ] else []
+
+let options_to_json o = Json.Obj (options_fields o)
 
 let fingerprint o = Digest.to_hex (Digest.string (Json.to_string (options_to_json o)))
 

@@ -61,6 +61,13 @@ type options = {
           [Some n]: [n] forked workers (batch fronts only) *)
   op_shard_obligations : bool;
       (** parallelize at the proof-obligation grain (implies workers) *)
+  op_infer : bool;
+      (** run the liquid-qualifier annotation-inference pass
+          ({!Dml_infer.Engine}) before checking, so unannotated programs
+          still get proven-safe accesses.  Folded into {!fingerprint} (and
+          hence {!memo_key} and the verdict-cache keying) only when set, so
+          inferring and non-inferring checks never share memo entries while
+          every pre-existing fingerprint stays stable. *)
 }
 
 val default_options : options

@@ -19,13 +19,14 @@ type summary = {
   sm_gen_s : float;
   sm_solve_s : float;
   sm_obligations : obligation_row list;
+  sm_inferred : bool;
 }
 
 type row = { row_name : string; row_result : (summary, string) result }
 
 type mode = Sequential | Workers of int
 
-let summarize (rp : Pipeline.report) =
+let summarize ?(inferred = false) (rp : Pipeline.report) =
   let obligation_rows =
     List.map
       (fun (co : Pipeline.checked_obligation) ->
@@ -47,27 +48,33 @@ let summarize (rp : Pipeline.report) =
     sm_gen_s = rp.rp_gen_time;
     sm_solve_s = rp.rp_solve_time;
     sm_obligations = obligation_rows;
+    sm_inferred = inferred;
   }
 
-(* An ephemeral session around a solve config and an already-built cache
-   object: what each execution site (sequential loop, forked worker)
-   assembles from the plain-data options that crossed the pipe. *)
-let session_for ?config ?cache () =
+(* An ephemeral session around the full session options and an
+   already-built cache object: what each execution site (sequential loop,
+   forked worker) assembles from the plain-data options that crossed the
+   pipe.  The parallelism shape is stripped — the execution site is already
+   a worker (or the sequential loop), and must not fork a nested pool —
+   but everything else, [op_infer] included, is preserved: a worker checks
+   under exactly the policy the batch was submitted with. *)
+let session_for ?cache (options : Session.options) =
   Session.create ?cache
-    ~options:
-      {
-        Session.default_options with
-        Session.op_solve = Option.value config ~default:Pipeline.default_config;
-      }
+    ~options:{ options with Session.op_jobs = None; op_shard_obligations = false }
     ()
 
 let check_one session target =
   match target.tg_source with
   | Error msg -> Error msg
-  | Ok src -> (
-      match Pipeline.check_s session src with
-      | Ok rp -> Ok (summarize rp)
-      | Error f -> Error (Pipeline.failure_to_string f))
+  | Ok src ->
+      if (Session.options session).Session.op_infer then (
+        match Dml_infer.Engine.check_s session src with
+        | Ok oc -> Ok (summarize ~inferred:true oc.Dml_infer.Engine.oc_report)
+        | Error f -> Error (Pipeline.failure_to_string f))
+      else (
+        match Pipeline.check_s session src with
+        | Ok rp -> Ok (summarize rp)
+        | Error f -> Error (Pipeline.failure_to_string f))
 
 (* Test-only fault injection, keyed by program name through the environment
    (the variables survive the fork): lets the oracle tests provoke a worker
@@ -96,13 +103,11 @@ let error_of_pool_failure = function
 (* Program sharding: one task = one whole program                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
+let run_program_sharded ~jobs ?task_timeout_ms (options : Session.options) targets =
   (* Each worker builds its own cache on first use *after* the fork, from
-     the shared config: the memo LRU is private per process, while a
-     [dir] is shared through the store's atomic tmp-rename writes. *)
-  let worker_session =
-    lazy (session_for ?config ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache) ())
-  in
+     the shared [op_cache] config: the memo LRU is private per process,
+     while a [dir] is shared through the store's atomic tmp-rename writes. *)
+  let worker_session = lazy (session_for options) in
   let worker target =
     test_injection target.tg_name;
     check_one (Lazy.force worker_session) target
@@ -123,8 +128,8 @@ let run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
 (* Obligation sharding: one task = one proof obligation                *)
 (* ------------------------------------------------------------------ *)
 
-let run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
-  let config_v = Option.value config ~default:Pipeline.default_config in
+let run_obligation_sharded ~jobs ?task_timeout_ms (options : Session.options) targets =
+  let config_v = options.Session.op_solve in
   (* the pool watchdog backs up the in-process budget: a worker that fails
      to honour its own deadline is reclaimed a grace period later *)
   let task_timeout_ms =
@@ -155,12 +160,7 @@ let run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
            | Ok fe -> List.map (fun ob -> (pi, ob)) fe.Pipeline.fe_obligations)
          fronts)
   in
-  let worker_session =
-    lazy
-      (session_for ~config:config_v
-         ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache)
-         ())
-  in
+  let worker_session = lazy (session_for options) in
   let worker (_pi, ob) =
     let stats = Solver.new_stats () in
     let co = Pipeline.solve_obligation_s (Lazy.force worker_session) ~stats ob in
@@ -213,29 +213,49 @@ let run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets =
 (* Front door                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let check_targets ?(mode = Sequential) ?(shard_obligations = false) ?task_timeout_ms
-    ?config ?cache targets =
+let run ~mode ~shard_obligations ?task_timeout_ms (options : Session.options) targets =
   match mode with
   | Sequential ->
-      let session =
-        session_for ?config ?cache:(Option.map (fun c -> Cache.create ~config:c ()) cache) ()
-      in
+      let session = session_for options in
       List.map (fun t -> { row_name = t.tg_name; row_result = check_one session t }) targets
   | Workers jobs ->
-      if shard_obligations then
-        run_obligation_sharded ~jobs ?task_timeout_ms ?config ?cache targets
-      else run_program_sharded ~jobs ?task_timeout_ms ?config ?cache targets
+      if shard_obligations then run_obligation_sharded ~jobs ?task_timeout_ms options targets
+      else run_program_sharded ~jobs ?task_timeout_ms options targets
+
+let check_targets ?(mode = Sequential) ?(shard_obligations = false) ?task_timeout_ms
+    ?config ?cache targets =
+  let options =
+    {
+      Session.default_options with
+      Session.op_solve = Option.value config ~default:Pipeline.default_config;
+      op_cache = cache;
+    }
+  in
+  run ~mode ~shard_obligations ?task_timeout_ms options targets
 
 let check_targets_s ?task_timeout_ms (options : Session.options) targets =
+  (* Obligation sharding solves goals against a front end built once in the
+     parent; inference rewrites the AST and re-runs the front end every
+     fixpoint round, so the grains are incompatible.  Degrade to program
+     grain rather than refusing, keeping the worker pool: each program's
+     whole fixpoint becomes one task. *)
+  let options =
+    if options.Session.op_infer && options.Session.op_shard_obligations then
+      {
+        options with
+        Session.op_shard_obligations = false;
+        op_jobs = (match options.Session.op_jobs with None -> Some 0 | j -> j);
+      }
+    else options
+  in
   let mode =
     match options.Session.op_jobs with
     | None when not options.Session.op_shard_obligations -> Sequential
     | None | Some 0 -> Workers (Pool.cpu_count ())
     | Some n -> Workers n
   in
-  check_targets ~mode ~shard_obligations:options.Session.op_shard_obligations
-    ?task_timeout_ms ~config:options.Session.op_solve ?cache:options.Session.op_cache
-    targets
+  run ~mode ~shard_obligations:options.Session.op_shard_obligations ?task_timeout_ms
+    options targets
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic JSON                                                  *)
@@ -248,13 +268,16 @@ let row_json r =
   match r.row_result with
   | Ok s ->
       Json.Obj
-        [
-          ("program", Json.String r.row_name);
-          ("valid", Json.Bool s.sm_valid);
-          ("constraints", Json.Int s.sm_constraints);
-          ("goals", Json.Int s.sm_goals);
-          ("residual", Json.Int s.sm_residual);
-        ]
+        ([
+           ("program", Json.String r.row_name);
+           ("valid", Json.Bool s.sm_valid);
+           ("constraints", Json.Int s.sm_constraints);
+           ("goals", Json.Int s.sm_goals);
+           ("residual", Json.Int s.sm_residual);
+         ]
+        (* only under --infer: pre-inference dml-batch/1 rows stay
+           byte-identical *)
+        @ if s.sm_inferred then [ ("inferred", Json.Bool true) ] else [])
   | Error e -> Json.Obj [ ("program", Json.String r.row_name); ("error", Json.String e) ]
 
 let rows_json rows = List.map row_json rows
@@ -271,10 +294,10 @@ let aggregate_json rows =
       ("residual", Json.Int (sum (fun s -> s.sm_residual)));
     ]
 
-let batch_json ~passes =
+let batch_json ?(schema = "dml-batch/1") ~passes () =
   Json.Obj
     [
-      ("schema", Json.String "dml-batch/1");
+      ("schema", Json.String schema);
       ( "passes",
         Json.List
           (List.mapi

@@ -54,14 +54,18 @@ type summary = {
   sm_solve_s : float;  (** aggregate solver seconds (the sum over obligations
                            under obligation sharding) *)
   sm_obligations : obligation_row list;  (** in generation order *)
+  sm_inferred : bool;
+      (** the report came from the {!Dml_infer.Engine} fixpoint over an
+          unannotated program, not from annotation-directed checking *)
 }
 
 type row = { row_name : string; row_result : (summary, string) result }
 
-val summarize : Dml_core.Pipeline.report -> summary
+val summarize : ?inferred:bool -> Dml_core.Pipeline.report -> summary
 (** Project a report onto its marshallable summary — what crosses the pipe
     from workers, and what the [dmld] server builds batch rows from when it
-    checks in-process against its own warm session. *)
+    checks in-process against its own warm session.  [inferred] (default
+    [false]) marks rows produced under [--infer]. *)
 
 type mode =
   | Sequential  (** in-process, no forking: the reference the oracle tests compare against *)
@@ -79,7 +83,13 @@ val check_targets_s :
     whole program, or one obligation when sharding); under obligation
     sharding it defaults to the config's per-obligation deadline plus a
     grace period, so a worker whose in-process budget fails to fire still
-    cannot wedge the batch. *)
+    cannot wedge the batch.
+
+    Under [op_infer] each program is checked by the {!Dml_infer.Engine}
+    fixpoint instead of the plain pipeline.  Inference re-runs the front end
+    every round, so it is incompatible with the obligation grain:
+    [op_infer && op_shard_obligations] degrades to program sharding with the
+    pool kept (one worker per core when [op_jobs] was unset). *)
 
 val check_targets :
   ?mode:mode ->
@@ -95,13 +105,17 @@ val check_targets :
 val rows_json : row list -> Dml_obs.Json.t list
 (** Deterministic per-program rows:
     [{"program", "valid", "constraints", "goals", "residual"}] or
-    [{"program", "error"}]. *)
+    [{"program", "error"}]; rows checked under [--infer] additionally carry
+    [{"inferred": true}] (never emitted otherwise, so pre-inference
+    documents stay byte-identical). *)
 
 val aggregate_json : row list -> Dml_obs.Json.t
 (** [{"programs", "failed", "constraints", "goals", "residual"}]. *)
 
-val batch_json : passes:row list list -> Dml_obs.Json.t
-(** The full deterministic [dml-batch/1] document. *)
+val batch_json : ?schema:string -> passes:row list list -> unit -> Dml_obs.Json.t
+(** The full deterministic batch document.  [schema] defaults to
+    ["dml-batch/1"]; callers batching under [--infer] bump it to
+    ["dml-batch/2"], the schema whose rows may carry ["inferred"]. *)
 
 val test_injection : string -> unit
 (** Test-only fault injection, shared by every fork-worker execution site

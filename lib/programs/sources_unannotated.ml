@@ -1,0 +1,351 @@
+(* Unannotated twins of the benchmark corpus: the same code as
+   {!Sources}, with every [where]/[<|] dependent annotation stripped, plus
+   a small concrete driver.  This is what [--infer] is measured against —
+   the inference engine must rediscover the paper's invariants as liquid
+   qualifiers, starting from programs a plain ML programmer would write.
+
+   The drivers matter: a function that is never applied generates no flow
+   goals at call sites, so nothing anchors cross-parameter qualifiers (the
+   [p <= q] of dotprod lives in the relation between the two argument
+   arrays, observable only where concrete arrays flow in).  Each twin
+   therefore ends with a [val] that exercises the entry point on arrays of
+   known size, exactly how the annotated originals are exercised by their
+   workload drivers.
+
+   kmp is the one twin that keeps declarations: its [type intPrefix] and
+   the [assert]s for the prefix-array primitives are library signatures
+   (Figure 5 imports them, it does not infer them), so they stay; only the
+   per-function [where] annotations are stripped. *)
+
+type twin = { u_name : string; u_source : string }
+
+(* --- Figure 1 ------------------------------------------------------------ *)
+
+let dotprod =
+  {|
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+in
+  loop(0, length v1, 0)
+end
+
+val a = array(10, 1)
+val b = array(10, 2)
+val d = dotprod(a, b)
+|}
+
+(* --- bcopy --------------------------------------------------------------- *)
+
+let bcopy =
+  {|
+fun bcopy(src, dst) = let
+  val len = length src
+  fun wordloop(i, limit) =
+    if i < limit then
+      (update(dst, i,   sub(src, i));
+       update(dst, i+1, sub(src, i+1));
+       update(dst, i+2, sub(src, i+2));
+       update(dst, i+3, sub(src, i+3));
+       wordloop(i+4, limit))
+    else ()
+  fun byteloop(i) =
+    if i < len then (update(dst, i, sub(src, i)); byteloop(i+1)) else ()
+in
+  (wordloop(0, len - len mod 4); byteloop(len - len mod 4))
+end
+
+val s = array(64, 1)
+val d = array(64, 2)
+val u = bcopy(s, d)
+|}
+
+(* --- binary search (Figure 3) -------------------------------------------- *)
+
+let bsearch =
+  {|
+fun bsearch cmp (key, arr) = let
+  fun look(lo, hi) =
+    if hi >= lo then
+      let
+        val m = lo + (hi - lo) div 2
+        val x = sub(arr, m)
+      in
+        case cmp(key, x) of
+          LESS => look(lo, m-1)
+        | EQUAL => SOME(m, x)
+        | GREATER => look(m+1, hi)
+      end
+    else NONE
+in
+  look(0, length arr - 1)
+end
+
+fun cmpint(a, b) = if a < b then LESS else if a > b then GREATER else EQUAL
+
+fun bsearchInt(key, arr) = bsearch cmpint (key, arr)
+
+val arr = array(100, 7)
+val r = bsearchInt(5, arr)
+|}
+
+(* --- bubble sort ---------------------------------------------------------- *)
+
+let bubblesort =
+  {|
+fun bsort(a) = let
+  fun swap(i, j) = let
+    val t = sub(a, i)
+  in
+    (update(a, i, sub(a, j)); update(a, j, t))
+  end
+  fun inner(j, m) =
+    if j + 1 < m then
+      (if sub(a, j) > sub(a, j+1) then swap(j, j+1) else ();
+       inner(j+1, m))
+    else ()
+  fun outer(m) =
+    if m > 1 then (inner(0, m); outer(m - 1)) else ()
+in
+  outer(length a)
+end
+
+val a = array(512, 3)
+val u = bsort(a)
+|}
+
+(* --- matrix multiplication ------------------------------------------------- *)
+
+let matmult =
+  {|
+fun matmult(a, b, c) = let
+  fun dotloop(i, j, k, acc) =
+    if k < length (sub(a, i)) then
+      dotloop(i, j, k+1, acc + sub(sub(a, i), k) * sub(sub(b, k), j))
+    else acc
+  fun coloop(i, j) =
+    if j < length (sub(c, i)) then
+      (update(sub(c, i), j, dotloop(i, j, 0, 0)); coloop(i, j+1))
+    else ()
+  fun rowloop(i) =
+    if i < length a then (coloop(i, 0); rowloop(i+1)) else ()
+in
+  rowloop(0)
+end
+
+val m1 = array(8, array(8, 1))
+val m2 = array(8, array(8, 2))
+val m3 = array(8, array(8, 0))
+val u = matmult(m1, m2, m3)
+|}
+
+(* --- n-queens --------------------------------------------------------------- *)
+
+let queens =
+  {|
+fun queens(size) = let
+  val board = array(size, 0)
+  fun safe(row, col) = let
+    fun chk(k) =
+      if k < col then
+        (if sub(board, k) = row orelse abs(sub(board, k) - row) = col - k
+         then false
+         else chk(k+1))
+      else true
+  in
+    chk(0)
+  end
+  fun place(col) =
+    if col >= size then 1
+    else let
+      fun tryrow(row, acc) =
+        if row < size then
+          (if safe(row, col) then
+            (update(board, col, row);
+             tryrow(row+1, acc + place(col+1)))
+           else tryrow(row+1, acc))
+        else acc
+    in
+      tryrow(0, 0)
+    end
+in
+  place(0)
+end
+
+val q = queens(8)
+|}
+
+(* --- quick sort -------------------------------------------------------------- *)
+
+let quicksort =
+  {|
+fun qsort(a) = let
+  fun swap(i, j) = let
+    val t = sub(a, i)
+  in
+    (update(a, i, sub(a, j)); update(a, j, t))
+  end
+  fun partition(lo, hi) = let
+    val pivot = sub(a, hi)
+    fun ploop(j, s) =
+      if j < hi then
+        (if sub(a, j) < pivot then (swap(s, j); ploop(j+1, s+1))
+         else ploop(j+1, s))
+      else s
+    val p = ploop(lo, lo)
+  in
+    (swap(p, hi); p)
+  end
+  fun sort(lo, hi) =
+    if lo < hi then
+      let val p = partition(lo, hi) in
+        (sort(lo, p-1); sort(p+1, hi))
+      end
+    else ()
+in
+  sort(0, length a - 1)
+end
+
+val a = array(100, 5)
+val u = qsort(a)
+|}
+
+(* --- towers of hanoi ---------------------------------------------------------- *)
+
+let hanoi =
+  {|
+fun hanoi(trace, heights, disks) = let
+  fun move(count, from, to) =
+    (update(heights, from, sub(heights, from) - 1);
+     update(heights, to, sub(heights, to) + 1);
+     update(trace, count mod 1024, from * 10 + to);
+     count + 1)
+  fun solve(k, from, to, via, count) =
+    if k = 0 then count
+    else let
+      val c1 = solve(k - 1, from, via, to, count)
+      val c2 = move(c1, from, to)
+    in
+      solve(k - 1, via, to, from, c2)
+    end
+in
+  solve(disks, 0, 2, 1, 0)
+end
+
+val trace = array(1024, 0)
+val heights = array(3, 0)
+val c = hanoi(trace, heights, 8)
+|}
+
+(* --- list access ---------------------------------------------------------------- *)
+
+let listaccess =
+  {|
+fun access16(l) = let
+  fun loop(i, acc) =
+    if i < 16 then loop(i+1, acc + nth(l, i)) else acc
+in
+  loop(0, 0)
+end
+
+val l = 1::2::3::4::5::6::7::8::9::10::11::12::13::14::15::16::nil
+val x = access16(l)
+|}
+
+(* --- list reverse (Figure 2) ------------------------------------------------------ *)
+
+let reverse =
+  {|
+fun reverse(l) = let
+  fun rev(nil, ys) = ys
+    | rev(x::xs, ys) = rev(xs, x::ys)
+in
+  rev(l, nil)
+end
+
+val l = 1::2::3::nil
+val r = reverse(l)
+|}
+
+(* --- filter (Section 2.4) ---------------------------------------------------------- *)
+
+let filter =
+  {|
+fun positive(x) = x > 0
+
+fun filter p nil = nil
+  | filter p (x::xs) = if p(x) then x :: (filter p xs) else filter p xs
+
+val r = filter positive (1::2::3::nil)
+|}
+
+(* --- Knuth--Morris--Pratt (Figure 5) ------------------------------------------------ *)
+
+let kmp =
+  {|
+type intPrefix = [i:int | 0 <= i + 1] int(i)
+
+assert arrayPrefix <| {size:nat} int(size) * intPrefix -> intPrefix array(size)
+and subPrefix <| {size:int, i:int | 0 <= i < size} intPrefix array(size) * int(i) -> intPrefix
+and subPrefixCK <| intPrefix array * int -> intPrefix
+and updatePrefix <| {size:int, i:int | 0 <= i < size}
+                    intPrefix array(size) * int(i) * intPrefix -> unit
+
+fun computePrefix(pat) = let
+  val plen = length pat
+  val prefixArray = arrayPrefix(plen, ~1)
+  fun loop(i, j) =
+    if j >= plen then ()
+    else if i >= 0 andalso sub(pat, j) <> subCK(pat, i + 1) then
+      loop(subPrefixCK(prefixArray, i), j)
+    else if sub(pat, j) = subCK(pat, i + 1) then
+      (updatePrefix(prefixArray, j, i + 1); loop(i + 1, j + 1))
+    else
+      (updatePrefix(prefixArray, j, ~1); loop(~1, j + 1))
+in
+  (loop(~1, 1); prefixArray)
+end
+
+fun kmpMatch(str, pat) = let
+  val strLen = length str
+  val patLen = length pat
+  val prefixArray = computePrefix(pat)
+  fun mloop(s, p) =
+    if s < strLen then
+      (if p < patLen then
+        (if sub(str, s) = sub(pat, p) then mloop(s + 1, p + 1)
+         else if p = 0 then mloop(s + 1, p)
+         else mloop(s, subPrefixCK(prefixArray, p - 1) + 1))
+       else s - patLen)
+    else if p = patLen then s - patLen
+    else ~1
+in
+  mloop(0, 0)
+end
+
+val text = array(40, 1)
+val pat = array(4, 1)
+val r = kmpMatch(text, pat)
+|}
+
+(* Keyed by the {!Programs} benchmark name, so the inferred Table 1 column
+   and the inferred-vs-annotated oracle can pair each twin with its
+   annotated original. *)
+let all =
+  [
+    { u_name = "bcopy"; u_source = bcopy };
+    { u_name = "binary search"; u_source = bsearch };
+    { u_name = "bubble sort"; u_source = bubblesort };
+    { u_name = "matrix mult"; u_source = matmult };
+    { u_name = "queen"; u_source = queens };
+    { u_name = "quick sort"; u_source = quicksort };
+    { u_name = "hanoi towers"; u_source = hanoi };
+    { u_name = "list access"; u_source = listaccess };
+    { u_name = "dotprod"; u_source = dotprod };
+    { u_name = "reverse"; u_source = reverse };
+    { u_name = "filter"; u_source = filter };
+    { u_name = "kmp"; u_source = kmp };
+  ]
+
+let find name = List.find_opt (fun t -> t.u_name = name) all

@@ -1,0 +1,15 @@
+(** Unannotated twins of the benchmark corpus: the {!Sources} programs
+    with every dependent annotation stripped and a small concrete driver
+    appended, keyed by the {!Programs} benchmark name.  The [--infer]
+    engine is measured against these — it must rediscover the paper's
+    invariants as liquid qualifiers.  (kmp keeps its [type]/[assert]
+    library signatures; only function annotations are stripped.) *)
+
+type twin = { u_name : string; u_source : string }
+
+val all : twin list
+(** In {!Programs.all} order: the eight table benchmarks, then the four
+    listings. *)
+
+val find : string -> twin option
+(** Look a twin up by its benchmark name (e.g. ["dotprod"]). *)

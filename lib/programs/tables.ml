@@ -17,6 +17,7 @@ type t1_row = {
   t1_annotations : int;
   t1_annotation_lines : int;
   t1_code_lines : int;
+  t1_inferred : (int, string) result option;
 }
 
 (* an ephemeral per-row session: table rows are deliberately checked cold,
@@ -30,7 +31,32 @@ let check_cold ?(method_ = Dml_solver.Solver.Fm_tightened) src =
   in
   Pipeline.check_s (Session.create ~options ()) src
 
-let table1_row ?method_ (b : Programs.benchmark) =
+(* Residual bound checks when the benchmark's *unannotated twin* is checked
+   under qualifier inference, cold like the annotated row.  0 means parity
+   with the annotated column (every site the annotations prove, inference
+   proves too); an [Error] records a front-end failure or an abandoned
+   fixpoint rather than disqualifying the annotated row. *)
+let inferred_residual ?(method_ = Dml_solver.Solver.Fm_tightened) (b : Programs.benchmark) =
+  match Sources_unannotated.find b.Programs.name with
+  | None -> None
+  | Some twin ->
+      let options =
+        {
+          Session.default_options with
+          Session.op_solve = { Session.default_solve_config with Session.sc_method = method_ };
+          op_infer = true;
+        }
+      in
+      let session = Session.create ~options () in
+      Some
+        (match Dml_infer.Engine.check_s session twin.Sources_unannotated.u_source with
+        | Error f -> Error (Pipeline.failure_to_string f)
+        | Ok oc -> (
+            match oc.Dml_infer.Engine.oc_abandoned with
+            | Some why -> Error ("abandoned: " ^ why)
+            | None -> Ok oc.Dml_infer.Engine.oc_report.Pipeline.rp_residual))
+
+let table1_row ?method_ ?(infer = false) (b : Programs.benchmark) =
   match check_cold ?method_ b.Programs.source with
   | Error f -> Error (Pipeline.failure_to_string f)
   | Ok r ->
@@ -45,9 +71,10 @@ let table1_row ?method_ (b : Programs.benchmark) =
             t1_annotations = r.Pipeline.rp_annotations;
             t1_annotation_lines = r.Pipeline.rp_annotation_lines;
             t1_code_lines = r.Pipeline.rp_code_lines;
+            t1_inferred = (if infer then inferred_residual ?method_ b else None);
           }
 
-let table1 () = List.map (fun b -> table1_row b) Programs.table_benchmarks
+let table1 ?infer () = List.map (fun b -> table1_row ?infer b) Programs.table_benchmarks
 
 (* --- Tables 2 and 3 --------------------------------------------------------- *)
 
@@ -155,16 +182,31 @@ let table23 backend ~scale =
 (* --- printing ------------------------------------------------------------------ *)
 
 let print_table1_rows fmt rows =
+  (* the inferred column appears only when some row carries it, so the
+     default table stays byte-identical to the pre-inference output *)
+  let with_inferred =
+    List.exists (function Ok r -> r.t1_inferred <> None | Error _ -> false) rows
+  in
   Format.fprintf fmt "Table 1: constraint generation/solution (cf. paper Table 1)@.";
-  Format.fprintf fmt "%-14s %11s %9s %9s %7s %11s %10s@." "program" "constraints" "gen(s)"
-    "solve(s)" "annots" "annot-lines" "code-lines";
+  Format.fprintf fmt "%-14s %11s %9s %9s %7s %11s %10s%s@." "program" "constraints" "gen(s)"
+    "solve(s)" "annots" "annot-lines" "code-lines"
+    (if with_inferred then " infer-resid" else "");
   List.iter
     (fun row ->
       match row with
       | Error msg -> Format.fprintf fmt "ERROR: %s@." msg
       | Ok r ->
-          Format.fprintf fmt "%-14s %11d %9.4f %9.4f %7d %11d %10d@." r.t1_name r.t1_constraints
-            r.t1_gen_s r.t1_solve_s r.t1_annotations r.t1_annotation_lines r.t1_code_lines)
+          let inferred =
+            if not with_inferred then ""
+            else
+              match r.t1_inferred with
+              | None -> Format.asprintf " %11s" "-"
+              | Some (Ok n) -> Format.asprintf " %11d" n
+              | Some (Error msg) -> Format.asprintf " %11s" ("ERR:" ^ msg)
+          in
+          Format.fprintf fmt "%-14s %11d %9.4f %9.4f %7d %11d %10d%s@." r.t1_name
+            r.t1_constraints r.t1_gen_s r.t1_solve_s r.t1_annotations r.t1_annotation_lines
+            r.t1_code_lines inferred)
     rows
 
 let print_table1 fmt () = print_table1_rows fmt (table1 ())

@@ -23,11 +23,19 @@ type t1_row = {
   t1_annotations : int;
   t1_annotation_lines : int;
   t1_code_lines : int;
+  t1_inferred : (int, string) result option;
+      (** residual bound checks when the benchmark's unannotated twin
+          ({!Sources_unannotated}) is checked under qualifier inference —
+          [Ok 0] is parity with the annotated column; [None] when the
+          inferred column was not requested or no twin exists *)
 }
 
-val table1_row : ?method_:Solver.method_ -> Programs.benchmark -> (t1_row, string) result
-val table1 : unit -> (t1_row, string) result list
-(** One row per Table 1 program, in the paper's order. *)
+val table1_row :
+  ?method_:Solver.method_ -> ?infer:bool -> Programs.benchmark -> (t1_row, string) result
+val table1 : ?infer:bool -> unit -> (t1_row, string) result list
+(** One row per Table 1 program, in the paper's order.  [infer] (default
+    [false]) additionally checks each benchmark's unannotated twin with
+    {!Dml_infer.Engine} and fills {!t1_row.t1_inferred}. *)
 
 type t23_row = {
   t23_name : string;

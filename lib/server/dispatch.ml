@@ -30,24 +30,44 @@ let task_label = function
    inline in the parent: this is what keeps a [-j] server's check documents
    byte-identical to single-shot [dmlc check --json]. *)
 let check_doc session ~program source =
-  match Pipeline.check_s session source with
-  | Ok rp -> Report_json.of_report ~program rp
-  | Error f -> Report_json.of_failure ~program f
+  if (Session.options session).Session.op_infer then (
+    (* dml-check/2: same document plus the ["inferred"] solution trace —
+       the schema only moves when the session opted into inference, so
+       every pre-existing consumer keeps seeing byte-identical /1 docs *)
+    match Dml_infer.Engine.check_s session source with
+    | Ok oc ->
+        Report_json.of_report ~schema:"dml-check/2" ~program
+          ~extra:[ ("inferred", Dml_infer.Engine.infer_json ~program oc) ]
+          oc.Dml_infer.Engine.oc_report
+    | Error f -> Report_json.of_failure ~schema:"dml-check/2" ~program f)
+  else
+    match Pipeline.check_s session source with
+    | Ok rp -> Report_json.of_report ~program rp
+    | Error f -> Report_json.of_failure ~program f
 
 let batch_doc session programs =
+  let infer = (Session.options session).Session.op_infer in
   let rows =
     List.map
       (fun (name, src) ->
         {
           Runner.row_name = name;
           Runner.row_result =
-            (match Pipeline.check_s session src with
-            | Ok rp -> Ok (Runner.summarize rp)
-            | Error f -> Error (Pipeline.failure_to_string f));
+            (if infer then (
+               match Dml_infer.Engine.check_s session src with
+               | Ok oc ->
+                   Ok (Runner.summarize ~inferred:true oc.Dml_infer.Engine.oc_report)
+               | Error f -> Error (Pipeline.failure_to_string f))
+             else
+               match Pipeline.check_s session src with
+               | Ok rp -> Ok (Runner.summarize rp)
+               | Error f -> Error (Pipeline.failure_to_string f));
         })
       programs
   in
-  Runner.batch_json ~passes:[ rows ]
+  Runner.batch_json
+    ?schema:(if infer then Some "dml-batch/2" else None)
+    ~passes:[ rows ] ()
 
 let run_task session = function
   | T_check { program; source } -> check_doc session ~program source

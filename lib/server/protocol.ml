@@ -107,7 +107,7 @@ let int_opt_field name v k =
 
 let apply_overrides (base : Session.options) v =
   let allowed =
-    [ "solver"; "escalate"; "fuel"; "timeout_ms"; "max_eliminations"; "mode" ]
+    [ "solver"; "escalate"; "fuel"; "timeout_ms"; "max_eliminations"; "mode"; "infer" ]
   in
   match check_fields ~allowed v with
   | Error e -> Error e
@@ -115,6 +115,7 @@ let apply_overrides (base : Session.options) v =
       let ( let* ) = Result.bind in
       let solve = ref base.Session.op_solve in
       let mode = ref base.Session.op_mode in
+      let infer = ref base.Session.op_infer in
       let* () =
         match Json.member "solver" v with
         | None -> Ok ()
@@ -149,7 +150,15 @@ let apply_overrides (base : Session.options) v =
             Ok ()
         | Some _ -> Error "option \"mode\" must be \"strict\" or \"degrade\""
       in
-      Ok { base with Session.op_solve = !solve; op_mode = !mode })
+      let* () =
+        match Json.member "infer" v with
+        | None -> Ok ()
+        | Some (Json.Bool b) ->
+            infer := b;
+            Ok ()
+        | Some _ -> Error "option \"infer\" must be a boolean"
+      in
+      Ok { base with Session.op_solve = !solve; op_mode = !mode; op_infer = !infer })
 
 (* ------------------------------------------------------------------ *)
 (* Envelopes and transport                                             *)

@@ -161,6 +161,7 @@ let do_batch t ~id ~programs ~options =
                 Dispatch.batch_doc session programs
             | _ ->
                 Runner.batch_json
+                  ?schema:(if opts.Session.op_infer then Some "dml-batch/2" else None)
                   ~passes:
                     [
                       Runner.check_targets_s opts
@@ -169,6 +170,7 @@ let do_batch t ~id ~programs ~options =
                              { Runner.tg_name = name; Runner.tg_source = Ok src })
                            programs);
                     ]
+                  ()
           in
           Protocol.ok_response ~id ~op:"batch" doc
       | Some d -> (

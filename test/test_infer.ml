@@ -1,0 +1,194 @@
+(* The liquid-qualifier annotation-inference engine: every unannotated twin
+   must check like its annotated original (or carry a documented residual),
+   and inference must never prove a site that is genuinely unsafe. *)
+
+open Dml_core
+module Engine = Dml_infer.Engine
+module Sources_unannotated = Dml_programs.Sources_unannotated
+module Programs = Dml_programs.Programs
+
+let session ?(options = Session.default_options) () = Session.create ~options ()
+
+let infer ?vocab_keep src =
+  match Engine.check_s ?vocab_keep (session ()) src with
+  | Ok oc -> oc
+  | Error f -> Alcotest.failf "inference failed: %s" (Pipeline.failure_to_string f)
+
+let render_unproven r =
+  String.concat "; "
+    (List.map
+       (fun (co : Pipeline.checked_obligation) ->
+         Format.asprintf "%s (%a)" co.Pipeline.co_obligation.Elab.ob_what Dml_lang.Loc.pp
+           co.Pipeline.co_obligation.Elab.ob_loc)
+       (Pipeline.unproven r))
+
+(* --- smoke: the README quickstart program --------------------------------- *)
+
+let dotprod_unannot =
+  {|
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+in
+  loop(0, length v1, 0)
+end
+
+val a = array(10, 1)
+val b = array(10, 2)
+val d = dotprod(a, b)
+|}
+
+let test_dotprod_smoke () =
+  let oc = infer dotprod_unannot in
+  let r = oc.Engine.oc_report in
+  Alcotest.(check int) "no hand-written annotations" 0 r.Pipeline.rp_annotations;
+  Alcotest.(check bool) "no abandon" true (oc.Engine.oc_abandoned = None);
+  Alcotest.(check bool) "some liquid vars" true (oc.Engine.oc_stats.Engine.st_liquid_vars > 0);
+  if not r.Pipeline.rp_valid then
+    Alcotest.failf "residual %d of %d: %s" r.Pipeline.rp_residual r.Pipeline.rp_constraints
+      (render_unproven r)
+
+(* --- the inferred-vs-annotated oracle -------------------------------------- *)
+
+(* Residual sites no annotation-free program can avoid — each twin below is
+   allowed exactly these, and nothing else:
+   - "matrix mult" (2): the driver builds rows with [array(8, array(8, 1))],
+     and the elaborator instantiates the element type variable covariantly,
+     which erases the inner length index (the [3 :: nil : int list] rule) —
+     so row regularity cannot reach the call.  The *annotated* matmult fails
+     on the same driver too (one residual at its call site): parity holds on
+     equal inputs; the gap is the driver's type, not the inference.
+   - "kmp" (1): the library typedef [intPrefix] erases to [int] at the ML
+     level, so the synthesized template for [computePrefix] cannot restate
+     the element refinement; the one residual site is a [subPrefixCK] call
+     that performs its own runtime check by design. *)
+let known_residual = [ ("matrix mult", 2); ("kmp", 1) ]
+
+let test_oracle () =
+  List.iter
+    (fun (b : Programs.benchmark) ->
+      let name = b.Programs.name in
+      match Sources_unannotated.find name with
+      | None -> Alcotest.failf "%s: no unannotated twin" name
+      | Some t ->
+          (* baseline: the annotated original proves every site *)
+          let annotated =
+            match Pipeline.check_s (session ()) b.Programs.source with
+            | Error f -> Alcotest.failf "%s annotated: %s" name (Pipeline.failure_to_string f)
+            | Ok r ->
+                if not r.Pipeline.rp_valid then
+                  Alcotest.failf "%s annotated left residual sites: %s" name (render_unproven r);
+                r
+          in
+          let oc =
+            match Engine.check_s (session ()) t.Sources_unannotated.u_source with
+            | Error f -> Alcotest.failf "%s twin: %s" name (Pipeline.failure_to_string f)
+            | Ok oc -> oc
+          in
+          (match oc.Engine.oc_abandoned with
+          | Some why -> Alcotest.failf "%s: inference abandoned (%s)" name why
+          | None -> ());
+          let r = oc.Engine.oc_report in
+          (* the twins really are stripped: no annotations at all, except
+             kmp's retained library [type]/[assert] signatures, which must
+             still be fewer than the original's *)
+          if String.equal name "kmp" then
+            Alcotest.(check bool)
+              (name ^ " twin strictly less annotated") true
+              (r.Pipeline.rp_annotations < annotated.Pipeline.rp_annotations)
+          else Alcotest.(check int) (name ^ " twin is annotation-free") 0 r.Pipeline.rp_annotations;
+          Alcotest.(check bool) (name ^ " synthesized templates") true
+            (oc.Engine.oc_stats.Engine.st_liquid_vars > 0);
+          let allowed =
+            match List.assoc_opt name known_residual with Some n -> n | None -> 0
+          in
+          if r.Pipeline.rp_residual > allowed then
+            Alcotest.failf "%s: %d residual site(s), %d allowed: %s" name r.Pipeline.rp_residual
+              allowed (render_unproven r))
+    Programs.all
+
+(* --- soundness under vocabulary subsetting --------------------------------- *)
+
+(* dotprod with an off-by-one driver loop bound: the access at
+   [i = length v1] is genuinely unsafe, so no inferred annotation may ever
+   prove it — under the full vocabulary or any random subset of it. *)
+let dotprod_off_by_one =
+  {|
+fun dotprod(v1, v2) = let
+  fun loop(i, n, sum) =
+    if i = n then sum
+    else loop(i+1, n, sum + sub(v1, i) * sub(v2, i))
+in
+  loop(0, length v1 + 1, 0)
+end
+
+val a = array(10, 1)
+val b = array(10, 2)
+val d = dotprod(a, b)
+|}
+
+let keep_of_seed seed q = Hashtbl.hash (seed, q) land 1 = 0
+
+let fuzz_vocab_soundness =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:24 ~name:"no sub-vocabulary proves the unsafe access"
+       QCheck.small_int (fun seed ->
+         let oc = infer ~vocab_keep:(keep_of_seed seed) dotprod_off_by_one in
+         let r = oc.Engine.oc_report in
+         (not r.Pipeline.rp_valid) && r.Pipeline.rp_residual >= 1))
+
+let test_full_vocab_sound () =
+  let oc = infer dotprod_off_by_one in
+  Alcotest.(check bool) "unsafe access stays residual" false
+    oc.Engine.oc_report.Pipeline.rp_valid
+
+(* --- budgets: a starved solver degrades sites, never hangs the fixpoint ---- *)
+
+let test_budget_degrades () =
+  let options =
+    {
+      Session.default_options with
+      Session.op_solve = { Session.default_solve_config with Session.sc_fuel = Some 1 };
+    }
+  in
+  match
+    Engine.check_s (session ~options ())
+      (match Sources_unannotated.find "bubble sort" with
+      | Some t -> t.Sources_unannotated.u_source
+      | None -> Alcotest.fail "bubble sort twin missing")
+  with
+  | Error f -> Alcotest.failf "front end failed: %s" (Pipeline.failure_to_string f)
+  | Ok oc ->
+      (* with one fuel unit per obligation every qualifier test exhausts its
+         budget, so the fixpoint must still terminate (kept sets only
+         shrink) and the starved sites surface as ordinary residuals *)
+      Alcotest.(check bool) "fixpoint terminated" true
+        (oc.Engine.oc_stats.Engine.st_iterations >= 1);
+      Alcotest.(check bool) "starved sites degrade, not hang" true
+        (oc.Engine.oc_report.Pipeline.rp_residual > 0)
+
+(* --- cache keying: --infer lives in a separate memo world ------------------ *)
+
+let test_fingerprint_separation () =
+  let base = Session.default_options in
+  let infer_opts = { base with Session.op_infer = true } in
+  Alcotest.(check bool) "fingerprints differ" false
+    (String.equal (Session.fingerprint base) (Session.fingerprint infer_opts));
+  Alcotest.(check bool) "memo keys differ on the same source" false
+    (String.equal (Session.memo_key base dotprod_unannot)
+       (Session.memo_key infer_opts dotprod_unannot))
+
+let () =
+  Alcotest.run "infer"
+    [
+      ("smoke", [ Alcotest.test_case "dotprod unannotated" `Quick test_dotprod_smoke ]);
+      ("oracle", [ Alcotest.test_case "inferred vs annotated corpus" `Slow test_oracle ]);
+      ( "soundness",
+        [
+          Alcotest.test_case "full vocabulary" `Quick test_full_vocab_sound;
+          fuzz_vocab_soundness;
+        ] );
+      ("budget", [ Alcotest.test_case "starved solver degrades" `Quick test_budget_degrades ]);
+      ("memo", [ Alcotest.test_case "fingerprint separation" `Quick test_fingerprint_separation ]);
+    ]
