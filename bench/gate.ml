@@ -1,23 +1,26 @@
 (* The dmld latency regression gate.
 
    Compares a fresh load-harness report (schema dml-load/1, the
-   [BENCH_dmld.json] that [bench/load.exe] just wrote) against the
-   checked-in baseline [bench/baseline_dmld.json] and fails when the warm
-   p95 regresses past the tolerance band:
+   [BENCH_dmld.json] that [bench/load.exe] just wrote) against the checked-in
+   baseline [bench/baseline_dmld.json] and fails when the warm p95 regresses
+   past the tolerance band:
 
      run p95  >  baseline p95 * factor + slack
 
    The warm pass is the half of the run answered from the server's program
-   memo, so its latency is dominated by server/protocol overhead rather
-   than solving — the figure that a dispatch or cache regression moves
-   first.  The band is deliberately wide (3x + 100ms by default): CI
-   machines are noisy and the gate exists to catch order-of-magnitude
-   regressions (a lost memo, an accidental re-solve, a serialization
-   stall), not single-digit-percent drift.  Refresh the baseline by
-   re-running [make bench-load] on a quiet machine and copying the report
-   over [bench/baseline_dmld.json]. *)
+   memo, so its latency is dominated by server/protocol overhead rather than
+   solving — the figure that a dispatch or cache regression moves first.  The
+   band is deliberately wide (3x + 100ms by default): CI machines are noisy
+   and the gate exists to catch order-of-magnitude regressions (a lost memo,
+   an accidental re-solve, a serialization stall), not single-digit-percent
+   drift.  Refresh the baseline by re-running [make bench-load] on a quiet
+   machine and copying the report over [bench/baseline_dmld.json].
 
-module J = Dml_obs.Json
+   Exit codes (decided by [Gate_core]): 0 within the band, 1 regressed,
+   2 the comparison could not be made — unreadable/unparsable report, wrong
+   schema, or a warm pass with zero samples. *)
+
+module Gate_core = Dml_gate.Gate_core
 
 let run_path = ref "BENCH_dmld.json"
 let base_path = ref "bench/baseline_dmld.json"
@@ -34,53 +37,25 @@ let specs =
     ("--slack-ms", Arg.Set_float slack_ms, "MS  additive tolerance (default 100)");
   ]
 
-let fail msg =
-  prerr_endline ("gate: FAIL — " ^ msg);
-  exit 1
-
-let read_doc path =
-  let contents =
-    try
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    with Sys_error msg -> fail msg
-  in
-  match J.of_string contents with
-  | Ok doc -> doc
-  | Error msg -> fail (path ^ ": " ^ msg)
-
-let num_at doc path =
-  let rec go doc = function
-    | [] -> (
-        match doc with
-        | J.Float f -> f
-        | J.Int n -> float_of_int n
-        | _ -> fail (String.concat "." path ^ " is not a number"))
-    | k :: rest -> (
-        match J.member k doc with
-        | Some d -> go d rest
-        | None -> fail ("missing field " ^ String.concat "." path))
-  in
-  go doc path
-
 let () =
   Arg.parse specs
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "gate [options]: fail when the load report's warm p95 regresses past the baseline band";
-  let run = read_doc !run_path and base = read_doc !base_path in
-  (match (J.member "schema" run, J.member "schema" base) with
-  | Some (J.String "dml-load/1"), Some (J.String "dml-load/1") -> ()
-  | _ -> fail "both documents must carry schema dml-load/1");
-  let p95 doc = num_at doc [ "warm_latency"; "p95_ms" ] in
-  let run_p95 = p95 run and base_p95 = p95 base in
-  let bound = (base_p95 *. !factor) +. !slack_ms in
-  Printf.printf "gate: warm p95 %.2fms vs baseline %.2fms (bound %.2fms = %.2f*%.1f + %.0fms)\n"
-    run_p95 base_p95 bound base_p95 !factor !slack_ms;
-  if run_p95 > bound then
-    fail
-      (Printf.sprintf "warm p95 %.2fms exceeds %.2fms — latency regressed past the band"
-         run_p95 bound);
-  print_endline "gate: OK"
+  let result =
+    Gate_core.evaluate ~run:!run_path ~baseline:!base_path ~factor:!factor
+      ~slack_ms:!slack_ms
+  in
+  (match result with
+  | Error invalid -> prerr_endline ("gate: INVALID — " ^ Gate_core.invalid_to_string invalid)
+  | Ok v ->
+      Printf.printf
+        "gate: warm p95 %.2fms vs baseline %.2fms (bound %.2fms = %.2f*%.1f + %.0fms)\n"
+        v.Gate_core.run_p95 v.Gate_core.base_p95 v.Gate_core.bound v.Gate_core.base_p95
+        !factor !slack_ms;
+      if v.Gate_core.regressed then
+        prerr_endline
+          (Printf.sprintf "gate: FAIL — warm p95 %.2fms exceeds %.2fms — latency regressed \
+                           past the band"
+             v.Gate_core.run_p95 v.Gate_core.bound)
+      else print_endline "gate: OK");
+  exit (Gate_core.exit_code result)

@@ -1,0 +1,102 @@
+(* The dmld latency gate's decision logic, split out of the executable so the
+   failure modes are unit-testable.
+
+   The gate used to treat every problem with its inputs — missing file,
+   truncated JSON, wrong schema, a report whose warm pass collected zero
+   samples — as a plain regression failure (exit 1), when each of those means
+   the comparison never happened at all.  A zero-sample report was worse: the
+   percentile of an empty population is 0.0, so the gate silently *passed* on
+   a harness that measured nothing.  Invalid input is now its own verdict
+   with its own exit code, so CI can distinguish "latency regressed" from
+   "the harness or the baseline is broken". *)
+
+module J = Dml_obs.Json
+
+type invalid =
+  | Unreadable of { path : string; reason : string }
+  | Unparsable of { path : string; reason : string }
+  | Bad_schema of { path : string; found : string option }
+  | Missing_field of { path : string; field : string }
+  | No_warm_samples of { path : string }
+
+let invalid_to_string = function
+  | Unreadable { path; reason } -> Printf.sprintf "%s: cannot read: %s" path reason
+  | Unparsable { path; reason } -> Printf.sprintf "%s: invalid JSON: %s" path reason
+  | Bad_schema { path; found } ->
+      Printf.sprintf "%s: expected schema dml-load/1, found %s" path
+        (match found with Some s -> Printf.sprintf "%S" s | None -> "none")
+  | Missing_field { path; field } ->
+      Printf.sprintf "%s: missing or non-numeric field %s" path field
+  | No_warm_samples { path } ->
+      Printf.sprintf
+        "%s: warm pass has zero samples — the harness measured nothing, so the warm \
+         p95 of 0.0 is meaningless"
+        path
+
+(* A validated dml-load/1 report: the two figures the gate compares on. *)
+type report = { warm_p95_ms : float; warm_requests : int }
+
+let ( let* ) = Result.bind
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error reason -> Error (Unreadable { path; reason })
+
+let num_at doc path field =
+  let rec go doc = function
+    | [] -> (
+        match doc with
+        | J.Float f -> Ok f
+        | J.Int n -> Ok (float_of_int n)
+        | _ -> Error (Missing_field { path; field }))
+    | k :: rest -> (
+        match J.member k doc with
+        | Some d -> go d rest
+        | None -> Error (Missing_field { path; field }))
+  in
+  go doc (String.split_on_char '.' field)
+
+let validate path doc =
+  let* () =
+    match J.member "schema" doc with
+    | Some (J.String "dml-load/1") -> Ok ()
+    | Some (J.String s) -> Error (Bad_schema { path; found = Some s })
+    | _ -> Error (Bad_schema { path; found = None })
+  in
+  let* warm_p95_ms = num_at doc path "warm_latency.p95_ms" in
+  let* requests = num_at doc path "warm_latency.requests" in
+  let warm_requests = int_of_float requests in
+  if warm_requests <= 0 then Error (No_warm_samples { path })
+  else Ok { warm_p95_ms; warm_requests }
+
+let read_report path =
+  let* contents = read_file path in
+  let* doc =
+    match J.of_string contents with
+    | Ok doc -> Ok doc
+    | Error reason -> Error (Unparsable { path; reason })
+  in
+  validate path doc
+
+type verdict = { run_p95 : float; base_p95 : float; bound : float; regressed : bool }
+
+let evaluate ~run ~baseline ~factor ~slack_ms =
+  let* run = read_report run in
+  let* base = read_report baseline in
+  let bound = (base.warm_p95_ms *. factor) +. slack_ms in
+  Ok
+    {
+      run_p95 = run.warm_p95_ms;
+      base_p95 = base.warm_p95_ms;
+      bound;
+      regressed = run.warm_p95_ms > bound;
+    }
+
+(* Exit codes: 0 within the band, 1 regressed, 2 the comparison could not
+   be made (unreadable/unparsable/malformed input). *)
+let exit_code = function Ok { regressed = false; _ } -> 0 | Ok _ -> 1 | Error _ -> 2

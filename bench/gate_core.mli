@@ -1,0 +1,31 @@
+(** Decision logic of the dmld latency regression gate ([bench/gate.exe]),
+    split out so the failure modes are unit-testable.
+
+    The gate distinguishes a genuine latency regression (exit 1) from input
+    it cannot judge at all — unreadable or unparsable report, wrong schema,
+    missing figures, or a warm pass with zero samples, whose p95 of 0.0
+    would otherwise pass vacuously (exit 2). *)
+
+type invalid =
+  | Unreadable of { path : string; reason : string }
+  | Unparsable of { path : string; reason : string }
+  | Bad_schema of { path : string; found : string option }
+  | Missing_field of { path : string; field : string }
+  | No_warm_samples of { path : string }
+
+val invalid_to_string : invalid -> string
+
+type report = { warm_p95_ms : float; warm_requests : int }
+
+val read_report : string -> (report, invalid) result
+(** Read and validate one dml-load/1 document. *)
+
+type verdict = { run_p95 : float; base_p95 : float; bound : float; regressed : bool }
+
+val evaluate :
+  run:string -> baseline:string -> factor:float -> slack_ms:float -> (verdict, invalid) result
+(** Compare the fresh report against the baseline:
+    [regressed = run p95 > baseline p95 * factor + slack_ms]. *)
+
+val exit_code : (verdict, invalid) result -> int
+(** [0] within the band, [1] regressed, [2] invalid input. *)

@@ -1,0 +1,98 @@
+(* The two-lane solver benchmark: every proof obligation of the Table 1
+   corpus solved on the bignum lane and on the machine-int lane, timed
+   wall-clock.  Emits a dml-bench/1 document with the two ablation rows and
+   their ratio (`make bench-solver`, uploaded by CI as BENCH_solver.json).
+
+   The rows are the evidence behind the native lane's existence: the same
+   obligations, the same verdicts (the differential fuzzer asserts that),
+   different arithmetic.  The corpus never overflows a 63-bit int, so the
+   native row is pure fast-path; a future corpus change that starts
+   escalating would show up here as the ratio collapsing toward 1. *)
+
+module J = Dml_obs.Json
+module Solver = Dml_solver.Solver
+
+let corpus () =
+  List.concat_map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      match Dml_core.Pipeline.frontend b.Dml_programs.Programs.source with
+      | Ok fe ->
+          List.map
+            (fun (ob : Dml_core.Elab.obligation) -> ob.Dml_core.Elab.ob_constr)
+            fe.Dml_core.Pipeline.fe_obligations
+      | Error _ ->
+          prerr_endline ("bench-solver: frontend failed on " ^ b.Dml_programs.Programs.name);
+          exit 2)
+    Dml_programs.Programs.table_benchmarks
+
+let solve_corpus ~lane cs =
+  List.iter
+    (fun c ->
+      match Solver.check_constraint ~lane c with
+      | Solver.Valid | Solver.Not_valid _ -> ()
+      | Solver.Unsupported m | Solver.Timeout m ->
+          prerr_endline ("bench-solver: unexpected verdict: " ^ m);
+          exit 2)
+    cs
+
+(* Best-of-N wall clock: the minimum is the least noise-contaminated
+   estimate of the true cost on a shared CI machine. *)
+let time_lane ~lane ~warmups ~runs cs =
+  for _ = 1 to warmups do
+    solve_corpus ~lane cs
+  done;
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    solve_corpus ~lane cs;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9
+
+let () =
+  let json_file = ref "BENCH_solver.json" in
+  let warmups = ref 2 and runs = ref 5 in
+  Arg.parse
+    [
+      ("--json", Arg.Set_string json_file, "FILE  write results as dml-bench/1 JSON");
+      ("--warmups", Arg.Set_int warmups, "N  untimed warmup passes (default 2)");
+      ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 5)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "solver [--json FILE]: time the Table 1 obligations on both solver lanes";
+  let cs = corpus () in
+  Printf.printf "bench-solver: %d obligations from %d programs\n%!" (List.length cs)
+    (List.length Dml_programs.Programs.table_benchmarks);
+  let bignum_ns = time_lane ~lane:Solver.Lane_bignum ~warmups:!warmups ~runs:!runs cs in
+  let native_ns = time_lane ~lane:Solver.Lane_native ~warmups:!warmups ~runs:!runs cs in
+  let ratio = bignum_ns /. native_ns in
+  Printf.printf "%-28s %14.0f ns/corpus\n" "ablation/solver/bignum" bignum_ns;
+  Printf.printf "%-28s %14.0f ns/corpus\n" "ablation/solver/native" native_ns;
+  Printf.printf "native speedup: %.2fx\n" ratio;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "dml-bench/1");
+        ( "rows",
+          J.List
+            [
+              J.Obj
+                [
+                  ("name", J.String "ablation/solver/bignum");
+                  ("ns_per_run", J.Float bignum_ns);
+                ];
+              J.Obj
+                [
+                  ("name", J.String "ablation/solver/native");
+                  ("ns_per_run", J.Float native_ns);
+                  ("speedup_vs_bignum", J.Float ratio);
+                ];
+            ] );
+      ]
+  in
+  match J.write_file !json_file doc with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("bench-solver: cannot write " ^ !json_file ^ ": " ^ msg);
+      exit 2

@@ -3,6 +3,7 @@ module Json = Dml_obs.Json
 
 type solve_config = {
   sc_method : Solver.method_;
+  sc_lane : Solver.lane;
   sc_escalate : bool;
   sc_fuel : int option;
   sc_timeout_ms : int option;
@@ -12,6 +13,7 @@ type solve_config = {
 let default_solve_config =
   {
     sc_method = Solver.Fm_tightened;
+    sc_lane = Solver.Lane_auto;
     sc_escalate = false;
     sc_fuel = None;
     sc_timeout_ms = None;
@@ -54,13 +56,20 @@ let options_fields o =
   [
       ( "solve",
         Json.Obj
-          [
-            ("method", Json.String (Solver.method_slug o.op_solve.sc_method));
-            ("escalate", Json.Bool o.op_solve.sc_escalate);
-            ("fuel", json_of_int_opt o.op_solve.sc_fuel);
-            ("timeout_ms", json_of_int_opt o.op_solve.sc_timeout_ms);
-            ("max_eliminations", json_of_int_opt o.op_solve.sc_max_eliminations);
-          ] );
+          ([
+             ("method", Json.String (Solver.method_slug o.op_solve.sc_method));
+             ("escalate", Json.Bool o.op_solve.sc_escalate);
+             ("fuel", json_of_int_opt o.op_solve.sc_fuel);
+             ("timeout_ms", json_of_int_opt o.op_solve.sc_timeout_ms);
+             ("max_eliminations", json_of_int_opt o.op_solve.sc_max_eliminations);
+           ]
+          (* emitted only when non-default, like [infer] below: verdicts are
+             lane-invariant but the keys must stay byte-stable for existing
+             fingerprints, and a forced lane still deserves its own memo
+             space (it changes timing and counters, not verdicts) *)
+          @
+          if o.op_solve.sc_lane = Solver.Lane_auto then []
+          else [ ("lane", Json.String (Solver.lane_slug o.op_solve.sc_lane)) ]) );
       ( "cache",
         match o.op_cache with
         | None -> Json.Null

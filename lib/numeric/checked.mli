@@ -1,0 +1,37 @@
+(** Overflow-checked native [int] arithmetic.
+
+    The machine-int solver lane runs Fourier--Motzkin and the rational
+    simplex over native integers; coefficient growth there is exponential,
+    so every arithmetic step must detect the moment a value leaves the
+    [int] range.  Each operation returns the exact mathematical result or
+    raises {!Overflow} — nothing wraps.  The caller (the solver's lane
+    dispatcher) converts {!Overflow} into a re-solve on the bignum lane,
+    so a raise is never an error, only an escalation signal.
+
+    [min_int] is treated as out of range everywhere: its absolute value is
+    not representable, and excluding it removes the negation corner cases
+    at the cost of one value out of [2^63]. *)
+
+exception Overflow
+
+val neg : int -> int
+val abs : int -> int
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+val fdiv : int -> int -> int
+(** Floor division, mirroring {!Bigint.fdiv}.  The divisor must be
+    non-zero; quotients of representable operands cannot overflow because
+    [min_int] never enters. *)
+
+val fmod : int -> int -> int
+(** Floor remainder, mirroring {!Bigint.fmod}: the result has the sign of
+    the divisor (or is zero). *)
+
+val gcd : int -> int -> int
+(** Non-negative greatest common divisor; [gcd 0 0 = 0], mirroring
+    {!Bigint.gcd}. *)
+
+val of_bigint : Bigint.t -> int
+(** @raise Overflow when the value does not fit (or is [min_int]). *)

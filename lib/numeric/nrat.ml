@@ -1,0 +1,46 @@
+(* Normalised rationals over checked native ints: positive denominator,
+   gcd(num, den) = 1 — the machine-int mirror of [Rat].  Any product or sum
+   that leaves the [int] range raises [Checked.Overflow], which the solver's
+   lane dispatcher turns into a bignum re-solve. *)
+
+type t = { num : int; den : int }
+
+let normalise num den =
+  if den = 0 then raise Division_by_zero
+  else if num = 0 then { num = 0; den = 1 }
+  else begin
+    let g = Checked.gcd num den in
+    let num = num / g and den = den / g in
+    if den < 0 then { num = Checked.neg num; den = Checked.neg den } else { num; den }
+  end
+
+let make num den = normalise num den
+let of_int n = if n = min_int then raise Checked.Overflow else { num = n; den = 1 }
+let of_bigint n = of_int (Checked.of_bigint n)
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let minus_one = { num = -1; den = 1 }
+
+let sign x = compare x.num 0
+let is_zero x = x.num = 0
+
+let compare x y = Stdlib.compare (Checked.mul x.num y.den) (Checked.mul y.num x.den)
+let equal x y = compare x y = 0
+
+let neg x = { x with num = Checked.neg x.num }
+
+let add x y =
+  normalise
+    (Checked.add (Checked.mul x.num y.den) (Checked.mul y.num x.den))
+    (Checked.mul x.den y.den)
+
+let sub x y = add x (neg y)
+let mul x y = normalise (Checked.mul x.num y.num) (Checked.mul x.den y.den)
+let inv x = normalise x.den x.num
+let div x y = mul x (inv y)
+
+let lt x y = compare x y < 0
+let le x y = compare x y <= 0
+let gt x y = compare x y > 0
+let ge x y = compare x y >= 0

@@ -1,0 +1,36 @@
+(** Exact rationals over checked native ints — the machine-int mirror of
+    {!Rat}, used by the native simplex lane.  Values are kept normalised
+    (positive denominator coprime with the numerator; zero is [0/1]).
+    Every operation, including {!compare}, either returns the exact result
+    or raises {!Checked.Overflow} for the lane dispatcher to escalate. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : int -> int -> t
+(** @raise Division_by_zero when the denominator is zero.
+    @raise Checked.Overflow when normalisation leaves the [int] range. *)
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+(** @raise Checked.Overflow when the value does not fit in a native [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val inv : t -> t
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool

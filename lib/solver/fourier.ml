@@ -157,10 +157,19 @@ let check ?stats ?budget ~tighten cs =
 (* Reconstruct a model by walking the elimination trace backwards.  Each
    entry gives the upper and lower bound constraints that mentioned the
    variable at elimination time; with all later variables assigned, those
-   bounds are concrete numbers. *)
-let rational_model ?budget cs =
-  (* Budget.Exhausted deliberately propagates: a caller that could not afford
-     the model reconstruction must report a timeout, not "no counterexample". *)
+   bounds are concrete numbers.
+
+   Two walks.  The integer walk runs the tightened elimination and picks
+   integer bound endpoints — when it verifies, the counterexample is a
+   genuine integer assignment, the strongest witness we can report.  But
+   it is blind to fractional-only witnesses twice over: tightening can
+   refute a rationally-satisfiable system outright (2x = 1 tightens to a
+   contradiction), and the floor-divided bound endpoints can miss a
+   witness that only exists between two integers.  So when the integer
+   walk comes up empty, a second walk runs the untightened elimination
+   with exact rational bound arithmetic, rounding nothing. *)
+
+let integer_model ?budget cs =
   match eliminate ?budget ~tighten:true cs with
   | exception Contradiction -> None
   | trace ->
@@ -213,3 +222,64 @@ let rational_model ?budget cs =
         match c.L.kind with L.Le -> B.le value B.zero | L.Eq -> B.is_zero value
       in
       if List.for_all holds cs then Some !env else None
+
+(* The exact-rational fallback walk: untightened elimination (FM is exact
+   over the rationals, so the back-substitution always verifies when the
+   system is rationally satisfiable) and bounds computed in [Rat]. *)
+let rational_walk ?budget cs =
+  match eliminate ?budget ~tighten:false cs with
+  | exception Contradiction -> None
+  | trace ->
+      let env = ref Ivar.Map.empty in
+      let eval_rat f =
+        Ivar.Map.fold
+          (fun v k acc ->
+            let x =
+              match Ivar.Map.find_opt v !env with
+              | Some x -> x
+              | None ->
+                  env := Ivar.Map.add v Rat.zero !env;
+                  Rat.zero
+            in
+            Rat.add acc (Rat.mul (Rat.of_bigint k) x))
+          f.L.coeffs
+          (Rat.of_bigint f.L.const)
+      in
+      let bound_of c v =
+        (* c : k*v + rest <= 0, so v <= -rest/k when k>0 and
+           v >= -rest/k when k<0 — exactly, no rounding. *)
+        let k = Rat.of_bigint (L.coeff v c.L.form) in
+        let rest = eval_rat (L.remove v c.L.form) in
+        Rat.div (Rat.neg rest) k
+      in
+      let assign { tvar; tuppers; tlowers } =
+        let fold_bound pick cs =
+          List.fold_left
+            (fun acc c ->
+              let b = bound_of c tvar in
+              match acc with None -> Some b | Some x -> Some (pick x b))
+            None cs
+        in
+        let upper = fold_bound Rat.min tuppers in
+        let lower = fold_bound Rat.max tlowers in
+        let value =
+          match (lower, upper) with
+          | Some l, _ -> l
+          | None, Some u -> u
+          | None, None -> Rat.zero
+        in
+        env := Ivar.Map.add tvar value !env
+      in
+      List.iter assign !trace;
+      let holds c =
+        let value = eval_rat c.L.form in
+        match c.L.kind with L.Le -> Rat.le value Rat.zero | L.Eq -> Rat.is_zero value
+      in
+      if List.for_all holds cs then Some !env else None
+
+let rational_model ?budget cs =
+  (* Budget.Exhausted deliberately propagates: a caller that could not afford
+     the model reconstruction must report a timeout, not "no counterexample". *)
+  match integer_model ?budget cs with
+  | Some m -> Some (Ivar.Map.map Rat.of_bigint m)
+  | None -> rational_walk ?budget cs

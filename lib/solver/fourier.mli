@@ -29,10 +29,21 @@ val check : ?stats:stats -> ?budget:Budget.t -> tighten:bool -> Linear.cstr list
     eliminated variable counts against the budget's elimination limit.
     @raise Budget.Exhausted when the budget runs out. *)
 
-val rational_model : ?budget:Budget.t -> Linear.cstr list -> Bigint.t Ivar.Map.t option
+val integer_model : ?budget:Budget.t -> Linear.cstr list -> Bigint.t Ivar.Map.t option
 (** Best-effort integer assignment satisfying the system, reconstructed by
-    back-substitution through the elimination order; used to produce
-    counterexample hints in error messages.  [None] when the system is unsat,
-    a bound is irrational to invert (never happens after tightening), or the
-    given budget ran out before the trace was complete (never raises
-    {!Budget.Exhausted} itself). *)
+    back-substitution through the tightened elimination order with
+    floor-divided bound endpoints; used to produce counterexample hints in
+    error messages.  [None] when the system is integrally unsat or the
+    endpoint rounding misses the witness.
+    @raise Budget.Exhausted when the budget runs out mid-walk: the caller
+    must report a timeout, not "no counterexample". *)
+
+val rational_model : ?budget:Budget.t -> Linear.cstr list -> Rat.t Ivar.Map.t option
+(** Best-effort rational assignment satisfying the system.  Tries
+    {!integer_model} first (an integer witness is the strongest hint); when
+    that comes up empty — the tightened walk refuted a rationally-satisfiable
+    system, or rounding lost the witness — falls back to an untightened
+    elimination with exact rational bound arithmetic, so fractional-only
+    witnesses (e.g. [2x = 1]) are found instead of silently dropped.
+    [None] only when the system has no rational solution at all.
+    @raise Budget.Exhausted when the budget runs out mid-walk. *)

@@ -1,0 +1,168 @@
+(* The machine-int Fourier--Motzkin lane: a step-for-step mirror of
+   [Fourier.eliminate] over the packed [Nlinear] representation.  Every
+   choice the bignum eliminator makes deterministically — normalisation,
+   Gaussian pre-substitution of unit equalities, the cheapest-variable
+   pivot order, the upper/lower combination order — is reproduced here, so
+   the two lanes return the same verdict and the same [Fourier.stats]
+   counts whenever no coefficient leaves the [int] range.  The first
+   arithmetic step that would overflow raises [Checked.Overflow] instead,
+   and the caller re-runs the untouched bignum system.
+
+   No elimination trace is kept: model reconstruction (the rare, cold
+   [Not_valid] hint path) always runs on the bignum lane. *)
+
+open Dml_numeric
+module N = Nlinear
+
+exception Contradiction
+
+let norm ~tighten c =
+  match N.normalize ~tighten c with
+  | None -> None
+  | Some c -> if N.is_trivially_false c then raise Contradiction else Some c
+
+let norm_all ~tighten cs = List.filter_map (norm ~tighten) cs
+
+(* Gaussian elimination of equalities with a unit-coefficient variable;
+   the unit binding picked is the first in ascending-id order, exactly the
+   binding [Fourier.gauss] finds through [Ivar.Map.to_seq]. *)
+let rec gauss ~tighten cs =
+  let is_unit c =
+    c.N.kind = N.Eq
+    && Array.exists (fun k -> k = 1 || k = -1) c.N.form.N.coeffs
+  in
+  match List.partition is_unit cs with
+  | [], rest -> rest
+  | eq :: other_eqs, rest ->
+      let v, s =
+        let rec first i =
+          let k = eq.N.form.N.coeffs.(i) in
+          if k = 1 || k = -1 then (eq.N.form.N.vids.(i), k) else first (i + 1)
+        in
+        first 0
+      in
+      (* s*v + rest = 0  =>  v = -s * rest  (s is +-1) *)
+      let rest_form = N.remove v eq.N.form in
+      let image = N.scale (Checked.neg s) rest_form in
+      let substitute c =
+        let k = N.coeff v c.N.form in
+        if k = 0 then c
+        else { c with N.form = N.combine 1 (N.remove v c.N.form) k image }
+      in
+      let cs' = List.map substitute (other_eqs @ rest) in
+      gauss ~tighten (norm_all ~tighten cs')
+
+let split_eqs cs =
+  List.concat_map
+    (fun c ->
+      match c.N.kind with
+      | N.Le -> [ c ]
+      | N.Eq ->
+          [
+            { N.kind = N.Le; form = c.N.form };
+            { N.kind = N.Le; form = N.scale (-1) c.N.form };
+          ])
+    cs
+
+(* Sorted distinct variable ids across the system — the ascending-id walk
+   [Fourier.all_vars]'s [Ivar.Set] iteration performs. *)
+let all_vars cs =
+  let module S = Set.Make (Int) in
+  let s =
+    List.fold_left
+      (fun acc c -> Array.fold_left (fun acc v -> S.add v acc) acc c.N.form.N.vids)
+      S.empty cs
+  in
+  S.elements s
+
+(* Cheapest-elimination variable, with the same cost function and the same
+   keep-the-earlier tie-break as [Fourier.pick_var]. *)
+let pick_var cs vars =
+  let cost v =
+    let upper = ref 0 and lower = ref 0 in
+    List.iter
+      (fun c ->
+        let k = N.coeff v c.N.form in
+        if k > 0 then incr upper else if k < 0 then incr lower)
+      cs;
+    (!upper * !lower) - (!upper + !lower)
+  in
+  let best, _ =
+    List.fold_left
+      (fun (bv, bc) v ->
+        let c = cost v in
+        match bv with Some _ when bc <= c -> (bv, bc) | _ -> (Some v, c))
+      (None, 0) vars
+  in
+  Option.get best
+
+let eliminate ?stats ?budget ~tighten cs =
+  let stats = match stats with Some s -> s | None -> Fourier.new_stats () in
+  let charge, note_elim =
+    match budget with
+    | Some bu when Budget.is_limited bu ->
+        ((fun n -> Budget.spend bu n), fun () -> Budget.eliminate bu)
+    | _ -> ((fun _ -> ()), fun () -> ())
+  in
+  (* The max-coefficient high-water mark is tracked natively and folded
+     into the shared bignum-valued stat once, on every exit path: the
+     overall maximum equals the per-iteration maxima the bignum lane
+     records. *)
+  let max_coeff = ref 0 in
+  let note_coeffs c = max_coeff := Stdlib.max !max_coeff (N.max_abs_coeff c.N.form) in
+  let flush_max_coeff () =
+    if !max_coeff > 0 then begin
+      let m = Bigint.of_int !max_coeff in
+      if Bigint.gt m stats.Fourier.max_coeff then stats.Fourier.max_coeff <- m
+    end
+  in
+  Fun.protect ~finally:flush_max_coeff @@ fun () ->
+  let cs = norm_all ~tighten cs in
+  let cs = gauss ~tighten cs in
+  let cs = split_eqs cs in
+  let rec loop cs =
+    stats.Fourier.max_constraints <- Stdlib.max stats.Fourier.max_constraints (List.length cs);
+    List.iter note_coeffs cs;
+    match all_vars cs with
+    | [] -> ()
+    | vars ->
+        let v = pick_var cs vars in
+        stats.Fourier.eliminations <- stats.Fourier.eliminations + 1;
+        note_elim ();
+        let uppers, lowers, rest =
+          List.fold_left
+            (fun (u, l, r) c ->
+              let k = N.coeff v c.N.form in
+              if k > 0 then (c :: u, l, r)
+              else if k < 0 then (u, c :: l, r)
+              else (u, l, c :: r))
+            ([], [], []) cs
+        in
+        let combined =
+          List.concat_map
+            (fun u ->
+              let a = N.coeff v u.N.form in
+              List.filter_map
+                (fun l ->
+                  let b = N.coeff v l.N.form in
+                  stats.Fourier.combinations <- stats.Fourier.combinations + 1;
+                  charge 1;
+                  norm ~tighten
+                    { N.kind = N.Le; form = N.combine (Checked.neg b) u.N.form a l.N.form })
+                lowers)
+            uppers
+        in
+        loop (combined @ rest)
+  in
+  loop cs
+
+(* Decide the (bignum) system on the native lane.
+   @raise Checked.Overflow when any coefficient leaves the [int] range —
+   at conversion or during elimination; the partial [stats] updates made
+   before the overflow stand, and the bignum re-run adds its own.
+   @raise Budget.Exhausted exactly where the bignum lane would. *)
+let check ?stats ?budget ~tighten system =
+  let cs = N.of_system system in
+  match eliminate ?stats ?budget ~tighten cs with
+  | () -> Fourier.Sat
+  | exception Contradiction -> Fourier.Unsat

@@ -1,0 +1,19 @@
+(** Machine-int Fourier--Motzkin — the native lane's mirror of {!Fourier}.
+
+    [check] converts the bignum system to the packed {!Nlinear}
+    representation and runs the elimination with overflow-checked native
+    arithmetic, reproducing every deterministic choice of the bignum
+    eliminator (normalisation, Gaussian pre-substitution, pivot order,
+    combination order) so verdicts and {!Fourier.stats} counts coincide
+    by construction.
+
+    @raise Dml_numeric.Checked.Overflow when a coefficient leaves the
+    [int] range; the caller re-solves the untouched bignum system.
+    @raise Budget.Exhausted exactly where the bignum lane would. *)
+
+val check :
+  ?stats:Fourier.stats ->
+  ?budget:Budget.t ->
+  tighten:bool ->
+  Linear.cstr list ->
+  Fourier.verdict

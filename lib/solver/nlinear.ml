@@ -1,0 +1,155 @@
+(* The machine-int lane's constraint representation: a linear form is a
+   packed pair of parallel arrays (variable ids ascending, non-zero native
+   coefficients) plus a constant — the arena-style mirror of [Linear.form]'s
+   [Bigint.t Ivar.Map.t].  All arithmetic goes through [Checked]; the
+   moment a coefficient leaves the [int] range the operation raises
+   [Checked.Overflow] and the solver re-runs the system on the bignum lane.
+
+   Variable ids are [Ivar.t.id] integers, and the arrays are kept sorted by
+   id, so every iteration order here coincides with the ascending-id order
+   of [Ivar.Map]/[Ivar.Set] — the native eliminator makes exactly the same
+   pivoting and substitution choices as the bignum one, which is what makes
+   the two lanes' verdicts (and Fourier statistics) identical by
+   construction whenever no overflow occurs. *)
+
+open Dml_numeric
+module L = Linear
+module C = Checked
+
+type form = { const : int; vids : int array; coeffs : int array }
+
+type kind = Le | Eq
+
+type cstr = { kind : kind; form : form }
+
+(* --- conversion from the bignum representation ------------------------------ *)
+
+(* [Ivar.Map.bindings] yields ascending [Ivar.compare] order, which is
+   ascending id order. *)
+let of_form (f : L.form) =
+  let bindings = Dml_index.Ivar.Map.bindings f.L.coeffs in
+  let n = List.length bindings in
+  let vids = Array.make n 0 and coeffs = Array.make n 0 in
+  List.iteri
+    (fun i (v, k) ->
+      vids.(i) <- v.Dml_index.Ivar.id;
+      coeffs.(i) <- C.of_bigint k)
+    bindings;
+  { const = C.of_bigint f.L.const; vids; coeffs }
+
+let of_cstr (c : L.cstr) =
+  { kind = (match c.L.kind with L.Le -> Le | L.Eq -> Eq); form = of_form c.L.form }
+
+let of_system cs = List.map of_cstr cs
+
+(* --- form arithmetic --------------------------------------------------------- *)
+
+let coeff vid f =
+  let rec go i =
+    if i >= Array.length f.vids || f.vids.(i) > vid then 0
+    else if f.vids.(i) = vid then f.coeffs.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let remove vid f =
+  match coeff vid f with
+  | 0 -> f
+  | _ ->
+      let n = Array.length f.vids in
+      let vids = Array.make (n - 1) 0 and coeffs = Array.make (n - 1) 0 in
+      let j = ref 0 in
+      for i = 0 to n - 1 do
+        if f.vids.(i) <> vid then begin
+          vids.(!j) <- f.vids.(i);
+          coeffs.(!j) <- f.coeffs.(i);
+          incr j
+        end
+      done;
+      { f with vids; coeffs }
+
+let scale k f =
+  if k = 0 then { const = 0; vids = [||]; coeffs = [||] }
+  else { f with const = C.mul k f.const; coeffs = Array.map (C.mul k) f.coeffs }
+
+(* [combine ka a kb b] is the merged form [ka*a + kb*b] with zero
+   coefficients dropped — one pass over the two sorted arrays, the packed
+   counterpart of [Linear.add (Linear.scale ka a) (Linear.scale kb b)]. *)
+let combine ka a kb b =
+  let na = Array.length a.vids and nb = Array.length b.vids in
+  let vids = Array.make (na + nb) 0 and coeffs = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 and n = ref 0 in
+  let push v k =
+    if k <> 0 then begin
+      vids.(!n) <- v;
+      coeffs.(!n) <- k;
+      incr n
+    end
+  in
+  while !i < na || !j < nb do
+    if !j >= nb || (!i < na && a.vids.(!i) < b.vids.(!j)) then begin
+      push a.vids.(!i) (C.mul ka a.coeffs.(!i));
+      incr i
+    end
+    else if !i >= na || b.vids.(!j) < a.vids.(!i) then begin
+      push b.vids.(!j) (C.mul kb b.coeffs.(!j));
+      incr j
+    end
+    else begin
+      push a.vids.(!i) (C.add (C.mul ka a.coeffs.(!i)) (C.mul kb b.coeffs.(!j)));
+      incr i;
+      incr j
+    end
+  done;
+  {
+    const = C.add (C.mul ka a.const) (C.mul kb b.const);
+    vids = Array.sub vids 0 !n;
+    coeffs = Array.sub coeffs 0 !n;
+  }
+
+let is_const f = if Array.length f.vids = 0 then Some f.const else None
+
+let max_abs_coeff f =
+  Array.fold_left (fun m k -> Stdlib.max m (C.abs k)) 0 f.coeffs
+
+(* --- normalisation (the mirror of [Linear.normalize]) ------------------------ *)
+
+let is_trivially_false c =
+  match is_const c.form with
+  | Some k -> ( match c.kind with Le -> k > 0 | Eq -> k <> 0)
+  | None -> false
+
+let is_trivially_true c =
+  match is_const c.form with
+  | Some k -> ( match c.kind with Le -> k <= 0 | Eq -> k = 0)
+  | None -> false
+
+let coeff_gcd f = Array.fold_left (fun g k -> C.gcd k g) 0 f.coeffs
+
+let false_cstr = { kind = Eq; form = { const = 1; vids = [||]; coeffs = [||] } }
+
+let normalize ~tighten c =
+  if is_trivially_true c then None
+  else if is_trivially_false c then Some c
+  else begin
+    let g = coeff_gcd c.form in
+    if g = 1 then Some c
+    else
+      match c.kind with
+      | Le ->
+          let coeffs = Array.map (fun k -> k / g) c.form.coeffs in
+          if tighten then begin
+            let bound = C.fdiv (C.neg c.form.const) g in
+            Some { kind = Le; form = { c.form with const = C.neg bound; coeffs } }
+          end
+          else if C.fmod c.form.const g = 0 then
+            Some { kind = Le; form = { c.form with const = c.form.const / g; coeffs } }
+          else Some c
+      | Eq ->
+          if C.fmod c.form.const g = 0 then begin
+            let coeffs = Array.map (fun k -> k / g) c.form.coeffs in
+            Some { kind = Eq; form = { c.form with const = c.form.const / g; coeffs } }
+          end
+          else if tighten then Some false_cstr
+          else Some c
+  end

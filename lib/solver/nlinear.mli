@@ -1,0 +1,42 @@
+(** Packed machine-int linear forms — the native lane's mirror of {!Linear}.
+
+    A form is a constant plus two parallel arrays: variable ids (ascending)
+    and their non-zero native coefficients.  Ids are [Ivar.t.id] values, so
+    ascending array order coincides with {!Dml_index.Ivar.Map} iteration
+    order and the native eliminator reproduces the bignum eliminator's
+    choices exactly.  All arithmetic is overflow-checked: any step that
+    leaves the [int] range raises {!Dml_numeric.Checked.Overflow}, the
+    signal the solver uses to re-run the system on the bignum lane. *)
+
+type form = { const : int; vids : int array; coeffs : int array }
+
+type kind = Le | Eq
+
+type cstr = { kind : kind; form : form }
+
+val of_cstr : Linear.cstr -> cstr
+(** @raise Checked.Overflow when a coefficient does not fit in [int]. *)
+
+val of_system : Linear.cstr list -> cstr list
+
+val coeff : int -> form -> int
+(** Coefficient of the given variable id, [0] when absent. *)
+
+val remove : int -> form -> form
+
+val scale : int -> form -> form
+
+val combine : int -> form -> int -> form -> form
+(** [combine ka a kb b] is [ka*a + kb*b], merged with zeros dropped. *)
+
+val is_const : form -> int option
+
+val max_abs_coeff : form -> int
+
+val is_trivially_false : cstr -> bool
+val is_trivially_true : cstr -> bool
+
+val normalize : tighten:bool -> cstr -> cstr option
+(** The exact mirror of {!Linear.normalize}: gcd reduction, the paper's
+    floor-tightening rule for inequalities, and divisibility pruning of
+    equalities.  [None] when the constraint is trivially true. *)

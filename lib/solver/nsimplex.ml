@@ -1,0 +1,152 @@
+(* The machine-int simplex lane: [Simplex] transliterated onto the
+   overflow-checked native rationals of [Nrat].  Variable indexing, the
+   phase-1 construction, Bland's rule and the budget charging are copied
+   verbatim, so with exact arithmetic on both sides the pivot sequence —
+   and therefore the verdict — is identical to the bignum lane's whenever
+   no intermediate value leaves the [int] range.  The first value that
+   would raises [Checked.Overflow] and the caller re-runs the untouched
+   bignum system. *)
+
+open Dml_numeric
+open Dml_index
+module L = Linear
+module R = Nrat
+
+type verdict = Unsat | Sat
+
+module IMap = Map.Make (Int)
+
+type row = { rconst : R.t; rcoeffs : R.t IMap.t }
+
+let rcoeff j r = Option.value (IMap.find_opt j r.rcoeffs) ~default:R.zero
+
+let radd a b =
+  {
+    rconst = R.add a.rconst b.rconst;
+    rcoeffs =
+      IMap.merge
+        (fun _ x y ->
+          let v = R.add (Option.value x ~default:R.zero) (Option.value y ~default:R.zero) in
+          if R.is_zero v then None else Some v)
+        a.rcoeffs b.rcoeffs;
+  }
+
+let rscale k r =
+  if R.is_zero k then { rconst = R.zero; rcoeffs = IMap.empty }
+  else { rconst = R.mul k r.rconst; rcoeffs = IMap.map (R.mul k) r.rcoeffs }
+
+type dict = { mutable rows : row IMap.t; mutable objective : row }
+
+let pivot d leave enter =
+  let row = IMap.find leave d.rows in
+  let a = rcoeff enter row in
+  let rest = { row with rcoeffs = IMap.remove enter row.rcoeffs } in
+  let inv_a = R.inv a in
+  let enter_row =
+    radd
+      (rscale (R.neg inv_a) rest)
+      { rconst = R.zero; rcoeffs = IMap.singleton leave inv_a }
+  in
+  let substitute r =
+    let k = rcoeff enter r in
+    if R.is_zero k then r
+    else radd { r with rcoeffs = IMap.remove enter r.rcoeffs } (rscale k enter_row)
+  in
+  d.rows <- IMap.add enter enter_row (IMap.map substitute (IMap.remove leave d.rows));
+  d.objective <- substitute d.objective
+
+let rec optimise ?budget d =
+  (match budget with
+  | Some bu when Budget.is_limited bu -> Budget.spend bu (2 + IMap.cardinal d.rows)
+  | _ -> ());
+  let enter =
+    IMap.fold
+      (fun j k acc ->
+        if R.gt k R.zero then match acc with Some j' when j' <= j -> acc | _ -> Some j
+        else acc)
+      d.objective.rcoeffs None
+  in
+  match enter with
+  | None -> `Optimal
+  | Some enter -> (
+      let leave =
+        IMap.fold
+          (fun i r acc ->
+            let k = rcoeff enter r in
+            if R.lt k R.zero then begin
+              let ratio = R.div r.rconst (R.neg k) in
+              match acc with
+              | Some (_, best) when R.lt best ratio -> acc
+              | Some (i', best) when R.equal best ratio && i' < i -> acc
+              | _ -> Some (i, ratio)
+            end
+            else acc)
+          d.rows None
+      in
+      match leave with
+      | None -> `Unbounded
+      | Some (leave, _) ->
+          pivot d leave enter;
+          optimise ?budget d)
+
+let solve ?budget cs =
+  let vars =
+    List.fold_left (fun acc c -> Ivar.Set.union acc (L.cstr_vars c)) Ivar.Set.empty cs
+  in
+  let var_ids, next_id =
+    Ivar.Set.fold
+      (fun v (m, i) -> (Ivar.Map.add v (i, i + 1) m, i + 2))
+      vars (Ivar.Map.empty, 1)
+  in
+  let ineqs =
+    List.concat_map
+      (fun c ->
+        match c.L.kind with
+        | L.Le -> [ c.L.form ]
+        | L.Eq -> [ c.L.form; L.neg c.L.form ])
+      cs
+  in
+  let to_row slack_id form =
+    let b = R.of_int (Checked.neg (Checked.of_bigint form.L.const)) in
+    let coeffs =
+      Ivar.Map.fold
+        (fun v k acc ->
+          let pos, neg = Ivar.Map.find v var_ids in
+          let k = R.of_bigint k in
+          acc
+          |> IMap.add pos (R.neg k)
+          |> IMap.add neg k)
+        form.L.coeffs IMap.empty
+    in
+    (slack_id, { rconst = b; rcoeffs = IMap.add 0 R.one coeffs })
+  in
+  let rows, _ =
+    List.fold_left
+      (fun (rows, id) form ->
+        let slack, row = to_row id form in
+        (IMap.add slack row rows, id + 1))
+      (IMap.empty, next_id)
+      ineqs
+  in
+  let d = { rows; objective = { rconst = R.zero; rcoeffs = IMap.singleton 0 R.minus_one } } in
+  let worst =
+    IMap.fold
+      (fun i r acc ->
+        match acc with
+        | Some (_, b) when R.le b r.rconst -> acc
+        | _ -> if R.lt r.rconst R.zero then Some (i, r.rconst) else acc)
+      d.rows None
+  in
+  match worst with
+  | None -> true
+  | Some (leave, _) -> (
+      pivot d leave 0;
+      match optimise ?budget d with
+      | `Unbounded -> true
+      | `Optimal ->
+          let x0_value =
+            match IMap.find_opt 0 d.rows with Some r -> r.rconst | None -> R.zero
+          in
+          R.is_zero x0_value)
+
+let check ?budget cs = if solve ?budget cs then Sat else Unsat

@@ -1,0 +1,14 @@
+(** Machine-int rational simplex — the native lane's mirror of {!Simplex}.
+
+    Same two-phase dictionary method and Bland's rule, over the checked
+    native rationals of {!Dml_numeric.Nrat}; both lanes' pivot sequences
+    (and hence verdicts) coincide whenever no intermediate value leaves
+    the [int] range.
+
+    @raise Dml_numeric.Checked.Overflow when a value does not fit; the
+    caller re-solves the untouched bignum system.
+    @raise Budget.Exhausted exactly where the bignum lane would. *)
+
+type verdict = Unsat | Sat
+
+val check : ?budget:Budget.t -> Linear.cstr list -> verdict

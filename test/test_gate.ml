@@ -1,0 +1,127 @@
+(* Unit tests for the latency-gate decision logic (bench/gate_core.ml): one
+   case per malformed-input failure mode, each pinning both the [invalid]
+   constructor and the exit code 2 — the regression that motivated the split
+   was a zero-sample report whose vacuous p95 of 0.0 sailed through as
+   PASSED — plus the two legitimate verdicts (within band / regressed). *)
+
+module Gate_core = Dml_gate.Gate_core
+
+let write_tmp name contents =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) ("gate_test_" ^ name) in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+(* a minimal but schema-complete dml-load/1 document *)
+let report_doc ?(schema = {|"dml-load/1"|}) ~p95 ~requests () =
+  Printf.sprintf
+    {|{"schema": %s, "warm_latency": {"p95_ms": %g, "requests": %d}}|}
+    schema p95 requests
+
+let good ~p95 = report_doc ~p95 ~requests:640 ()
+
+let check_invalid name path expect_ctor =
+  match Gate_core.read_report path with
+  | Ok _ -> Alcotest.fail (name ^ ": expected invalid input to be rejected")
+  | Error e ->
+      Alcotest.(check bool)
+        (name ^ ": constructor")
+        true (expect_ctor e);
+      Alcotest.(check int)
+        (name ^ ": exit code")
+        2
+        (Gate_core.exit_code (Error e));
+      (* every diagnostic names the offending file *)
+      let msg = Gate_core.invalid_to_string e in
+      Alcotest.(check bool)
+        (name ^ ": diagnostic cites the path")
+        true
+        (let plen = String.length path and mlen = String.length msg in
+         let rec find i =
+           i + plen <= mlen && (String.sub msg i plen = path || find (i + 1))
+         in
+         find 0)
+
+let test_missing_file () =
+  check_invalid "missing" "/nonexistent/gate_test_missing.json" (function
+    | Gate_core.Unreadable _ -> true
+    | _ -> false)
+
+let test_invalid_json () =
+  let path = write_tmp "garbage.json" "not json {" in
+  check_invalid "unparsable" path (function Gate_core.Unparsable _ -> true | _ -> false);
+  Sys.remove path
+
+let test_wrong_schema () =
+  let path = write_tmp "schema.json" (report_doc ~schema:{|"dml-bench/1"|} ~p95:4.0 ~requests:640 ()) in
+  check_invalid "bad schema" path (function
+    | Gate_core.Bad_schema { found = Some "dml-bench/1"; _ } -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_missing_field () =
+  let path = write_tmp "nofield.json" {|{"schema": "dml-load/1", "warm_latency": {}}|} in
+  check_invalid "missing field" path (function
+    | Gate_core.Missing_field _ -> true
+    | _ -> false);
+  Sys.remove path
+
+(* the motivating bug: zero warm samples means p95 = 0.0, which is below any
+   bound — the gate must refuse to judge, not report PASSED *)
+let test_zero_samples () =
+  let path = write_tmp "empty.json" (report_doc ~p95:0.0 ~requests:0 ()) in
+  check_invalid "no warm samples" path (function
+    | Gate_core.No_warm_samples _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_within_band () =
+  let run = write_tmp "run_ok.json" (good ~p95:5.0) in
+  let baseline = write_tmp "base_ok.json" (good ~p95:4.0) in
+  (match Gate_core.evaluate ~run ~baseline ~factor:3.0 ~slack_ms:5.0 with
+  | Ok v ->
+      Alcotest.(check bool) "not regressed" false v.Gate_core.regressed;
+      Alcotest.(check int) "exit 0" 0 (Gate_core.exit_code (Ok v))
+  | Error e -> Alcotest.fail (Gate_core.invalid_to_string e));
+  Sys.remove run;
+  Sys.remove baseline
+
+let test_regressed () =
+  let run = write_tmp "run_slow.json" (good ~p95:100.0) in
+  let baseline = write_tmp "base_slow.json" (good ~p95:4.0) in
+  (match Gate_core.evaluate ~run ~baseline ~factor:3.0 ~slack_ms:5.0 with
+  | Ok v ->
+      Alcotest.(check bool) "regressed" true v.Gate_core.regressed;
+      Alcotest.(check (float 1e-9)) "bound is base * factor + slack" 17.0 v.Gate_core.bound;
+      Alcotest.(check int) "exit 1" 1 (Gate_core.exit_code (Ok v))
+  | Error e -> Alcotest.fail (Gate_core.invalid_to_string e));
+  Sys.remove run;
+  Sys.remove baseline
+
+(* an invalid baseline is as disqualifying as an invalid run *)
+let test_invalid_baseline () =
+  let run = write_tmp "run_v.json" (good ~p95:5.0) in
+  (match Gate_core.evaluate ~run ~baseline:"/nonexistent/base.json" ~factor:3.0 ~slack_ms:5.0 with
+  | Ok _ -> Alcotest.fail "expected the missing baseline to be rejected"
+  | Error e -> Alcotest.(check int) "exit 2" 2 (Gate_core.exit_code (Error e)));
+  Sys.remove run
+
+let () =
+  Alcotest.run "gate"
+    [
+      ( "invalid-input",
+        [
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "invalid JSON" `Quick test_invalid_json;
+          Alcotest.test_case "wrong schema" `Quick test_wrong_schema;
+          Alcotest.test_case "missing p95 field" `Quick test_missing_field;
+          Alcotest.test_case "zero warm samples" `Quick test_zero_samples;
+          Alcotest.test_case "invalid baseline" `Quick test_invalid_baseline;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "within band" `Quick test_within_band;
+          Alcotest.test_case "regressed" `Quick test_regressed;
+        ] );
+    ]

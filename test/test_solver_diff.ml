@@ -242,6 +242,57 @@ let diff_test =
   QCheck.Test.make ~count:1000 ~name:"fm vs simplex differential" (arb_tgoal ~div:true)
     differential
 
+(* --- lane parity: the machine-int fast path vs bignum --------------------------- *)
+
+(* Adversarial coefficient generator: atoms of the shape [K*v_i <= v_j + c]
+   with K near max_int/2, so that eliminating v_i combines two constraints
+   whose coefficients multiply to ~K^2 — far past 63 bits.  Chained over
+   several hypotheses this forces the native lane through its overflow
+   escalation; smaller K (2^20, 2^31) exercise goals that stay native all
+   the way through. *)
+let gen_adversarial =
+  let open QCheck.Gen in
+  int_range 2 3 >>= fun nvars ->
+  let big = oneofl [ (max_int / 2) - 1; max_int / 3; (1 lsl 40) + 11; (1 lsl 31) - 1; 1 lsl 20 ] in
+  let atom =
+    big >>= fun k ->
+    int_bound (nvars - 1) >>= fun i ->
+    int_bound (nvars - 1) >>= fun j ->
+    oneofl [ Idx.Rlt; Idx.Rle; Idx.Req; Idx.Rge; Idx.Rgt ] >>= fun r ->
+    int_range (-4) 4 >>= fun c ->
+    return { ta_rel = r; ta_lhs = Tmulc (k, Tvar i); ta_rhs = Tadd (Tvar j, Tconst c) }
+  in
+  map2
+    (fun hyps concl -> { tg_nvars = nvars; tg_hyps = hyps; tg_concl = concl })
+    (list_size (int_range 1 4) atom)
+    atom
+
+(* ~3/4 ordinary goals (native fast path all the way), ~1/4 adversarial
+   (forced escalation): parity must hold across the boundary *)
+let gen_mixed =
+  QCheck.Gen.frequency [ (3, gen_tgoal ~div:true); (1, gen_adversarial) ]
+
+let arb_mixed = QCheck.make ~print:print_tgoal ~shrink:shrink_tgoal gen_mixed
+
+(* Bit-for-bit verdict equality, hints included: the native lane either
+   completes with the exact verdict the bignum lane would compute (the
+   algorithms mirror each other's deterministic choices) or overflows and
+   re-solves on bignum — in both cases the observable answer is identical. *)
+let lane_parity tg =
+  let g = goal_of_tgoal tg in
+  List.for_all
+    (fun (m, name) ->
+      let native = Solver.check_goal ~method_:m ~lane:Solver.Lane_native g in
+      let bignum = Solver.check_goal ~method_:m ~lane:Solver.Lane_bignum g in
+      if native <> bignum then
+        QCheck.Test.fail_reportf "lanes disagree under %s: native=%s bignum=%s" name
+          (Solver.verdict_slug native) (Solver.verdict_slug bignum);
+      true)
+    methods
+
+let lane_test =
+  QCheck.Test.make ~count:1000 ~name:"native vs bignum lane parity" arb_mixed lane_parity
+
 (* --- metamorphic properties ----------------------------------------------------- *)
 
 (* a deterministic permutation that actually moves elements *)
@@ -393,15 +444,71 @@ let test_divisibility_separation () =
   Alcotest.(check string) "rational simplex cannot" "not-valid"
     (Solver.verdict_slug (Solver.check_goal ~method_:Solver.Simplex_rational g))
 
+(* big*x <= y /\ y <= big*x |- y <= 0 with big = 2^40: eliminating x pairs
+   the two hypotheses, and the combination multiplies big by big — past 63
+   bits.  The native lane must raise internally, escalate once, and still
+   hand back exactly the bignum verdict; the ladder counter (method
+   escalation) must stay untouched. *)
+let test_forced_overflow_escalation () =
+  let x = Ivar.fresh "x" and y = Ivar.fresh "y" in
+  let big = 1 lsl 40 in
+  let g =
+    {
+      Constr.goal_vars = [ (x, Idx.Sint); (y, Idx.Sint) ];
+      goal_hyps =
+        [
+          Idx.Bcmp (Idx.Rle, Idx.Imul (Idx.Iconst big, Idx.Ivar x), Idx.Ivar y);
+          Idx.Bcmp (Idx.Rle, Idx.Ivar y, Idx.Imul (Idx.Iconst big, Idx.Ivar x));
+        ];
+      goal_concl = Idx.Bcmp (Idx.Rle, Idx.Ivar y, Idx.Iconst 0);
+    }
+  in
+  let sn = Solver.new_stats () in
+  let vn = Solver.check_goal ~method_:Solver.Fm_plain ~lane:Solver.Lane_native ~stats:sn g in
+  let sb = Solver.new_stats () in
+  let vb = Solver.check_goal ~method_:Solver.Fm_plain ~lane:Solver.Lane_bignum ~stats:sb g in
+  Alcotest.(check bool) "lanes agree on the overflowing goal" true (vn = vb);
+  Alcotest.(check bool) "native lane overflow-escalated" true
+    (sn.Solver.overflow_escalations >= 1);
+  Alcotest.(check int) "ladder escalations untouched by overflow" 0 sn.Solver.escalations;
+  Alcotest.(check int) "bignum lane never overflow-escalates" 0 sb.Solver.overflow_escalations
+
+(* 2x = 1 |- false: integrally absurd, rationally satisfiable at x = 1/2.
+   The integer witness walk cannot represent that point (floor division used
+   to truncate it to x = 0, which fails verification and lost the hint);
+   the rational fallback must reconstruct it exactly. *)
+let test_fractional_witness () =
+  let x = Ivar.fresh "x" in
+  let g =
+    {
+      Constr.goal_vars = [ (x, Idx.Sint) ];
+      goal_hyps = [ Idx.Bcmp (Idx.Req, Idx.Imul (Idx.Iconst 2, Idx.Ivar x), Idx.Iconst 1) ];
+      goal_concl = Idx.Bconst false;
+    }
+  in
+  (match Solver.check_goal ~method_:Solver.Fm_plain g with
+  | Solver.Not_valid hint ->
+      Alcotest.(check string) "fractional counterexample reconstructed"
+        "counterexample: x = 1/2" hint
+  | v -> Alcotest.fail ("expected not-valid, got " ^ Solver.verdict_slug v));
+  (* the tightened elimination sees the parity clash and proves the goal *)
+  Alcotest.(check string) "tightened still refutes 2x = 1" "valid"
+    (Solver.verdict_slug (Solver.check_goal ~method_:Solver.Fm_tightened g))
+
 let () =
   Alcotest.run "solver-diff"
     [
       ("differential", [ QCheck_alcotest.to_alcotest diff_test ]);
+      ("lane-parity", [ QCheck_alcotest.to_alcotest lane_test ]);
       ("metamorphic", List.map QCheck_alcotest.to_alcotest meta_tests);
       ( "regressions",
         [
           Alcotest.test_case "figure 4 binary search goals" `Quick test_bsearch_regression;
           Alcotest.test_case "divisibility separates the methods" `Quick
             test_divisibility_separation;
+          Alcotest.test_case "overflow escalates to the bignum lane" `Quick
+            test_forced_overflow_escalation;
+          Alcotest.test_case "fractional witness survives reconstruction" `Quick
+            test_fractional_witness;
         ] );
     ]
