@@ -1,4 +1,4 @@
-.PHONY: all check build test fuzz bench-json bench-load bench-gate bench-solver clean
+.PHONY: all check build test fuzz bench-json bench-load bench-gate bench-solver bench-incr clean
 
 all: build
 
@@ -41,6 +41,13 @@ bench-gate: bench-load
 # native/bignum speedup recorded in the artifact.
 bench-solver: build
 	timeout 300 dune exec bench/solver.exe -- --json BENCH_solver.json
+
+# Incremental recheck latency by edit size (schema dml-bench/1): the Table 1
+# corpus as one editor buffer, re-checked after a 1-declaration, ~10% and
+# 100% edit; each row pairs the incremental figure with a cold full check
+# and asserts the reports are byte-identical first.
+bench-incr: build
+	timeout 300 dune exec bench/incr.exe -- --json BENCH_incr.json
 
 clean:
 	dune clean

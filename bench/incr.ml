@@ -1,0 +1,172 @@
+(* The incremental-recheck benchmark: how fast dmld answers an edit, by edit
+   size, against the cost of a cold full check (`make bench-incr`, uploaded
+   by CI as BENCH_incr.json).
+
+   The workload is an editor buffer holding the whole Table 1 corpus plus a
+   tail of probe declarations (each a one-obligation array access, so a
+   dirtied declaration costs real solver work).  Scenarios: a 1-declaration
+   edit (bump one probe), a ~10% edit (bump a tenth of the declarations) and
+   a 100% "edit" (a cold establishing check — every unit dirty).  Each
+   incremental figure is measured from a freshly re-established base state,
+   best-of-N; the paired full figure is a cold `Pipeline.check_s` of the
+   same patched source on an equal (cache-free) session.
+
+   Every scenario also asserts the incremental report is byte-identical to
+   the cold full check modulo the schedule-dependent fields — the bench
+   refuses to report a speedup for wrong answers. *)
+
+module J = Dml_obs.Json
+module P = Dml_core.Pipeline
+module S = Dml_core.Session
+module I = Dml_core.Incr
+module R = Dml_core.Report_json
+module Pr = Dml_programs.Programs
+
+let corpus_src =
+  String.concat "\n" (List.map (fun (b : Pr.benchmark) -> b.Pr.source) Pr.table_benchmarks)
+
+(* One probe declaration: a guarded array access (one proof obligation) whose
+   body carries an edit counter, so bumping [rev] changes the declaration's
+   digest without changing what it proves. *)
+let probe i rev =
+  Printf.sprintf
+    "fun dmlprobe%d(a) = sub(a, %d) + %d\nwhere dmlprobe%d <| {n:nat | n > %d} int array(n) -> int\n"
+    i i rev i i
+
+let n_probes = 10
+
+let buffer revs =
+  corpus_src ^ "\n" ^ String.concat "\n" (List.mapi (fun i rev -> probe i rev) revs)
+
+let base_revs = List.init n_probes (fun _ -> 0)
+let bump k = List.mapi (fun i rev -> if i < k then rev + 1 else rev) base_revs
+
+let session () = S.create ~options:S.default_options ()
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("bench-incr: " ^ m); exit 2) fmt
+
+let scrub doc = J.scrub ~keys:R.schedule_dependent_fields doc
+
+let report_doc rp = R.of_report ~program:"buffer" rp
+
+let full_check src =
+  match P.check_s (session ()) src with
+  | Ok rp -> rp
+  | Error f -> die "full check failed: %s" (P.failure_to_string f)
+
+let incr_check st sess src =
+  match I.check st sess src with
+  | Ok (rp, stats) -> (rp, stats)
+  | Error f -> die "incremental check failed: %s" (P.failure_to_string f)
+
+(* N timed passes; [setup] runs untimed before each.  Returns the samples in
+   milliseconds — the headline figure is the minimum (least noise on a
+   shared machine), the distribution goes through the shared percentile
+   estimator into the row. *)
+let timed_runs runs ~setup f =
+  List.init runs (fun _ ->
+      let ctx = setup () in
+      let t0 = Unix.gettimeofday () in
+      ignore (f ctx);
+      (Unix.gettimeofday () -. t0) *. 1e3)
+
+let min_ns ms = 1e6 *. List.fold_left Float.min infinity ms
+
+let scenario ~runs ~name ~dirty_decls patched_src =
+  (* correctness first: same answer as a cold full check *)
+  let full_rp = full_check patched_src in
+  let sess = session () in
+  let st = I.create () in
+  ignore (incr_check st sess (buffer base_revs));
+  let incr_rp, stats = incr_check st sess patched_src in
+  if scrub (report_doc incr_rp) <> scrub (report_doc full_rp) then
+    die "%s: incremental report differs from the cold full check" name;
+  let full_calls = List.length full_rp.P.rp_obligations in
+  (* then the clocks *)
+  let incr_ms =
+    timed_runs runs
+      ~setup:(fun () ->
+        let sess = session () in
+        let st = I.create () in
+        ignore (incr_check st sess (buffer base_revs));
+        (st, sess))
+      (fun (st, sess) -> incr_check st sess patched_src)
+  in
+  let full_ms = timed_runs runs ~setup:session (fun sess -> P.check_s sess patched_src) in
+  let incr_ns = min_ns incr_ms and full_ns = min_ns full_ms in
+  Printf.printf "%-22s %10.2f ms incr  %10.2f ms full  %6.1fx  dirty %d/%d  calls %d/%d\n%!"
+    name (incr_ns /. 1e6) (full_ns /. 1e6) (full_ns /. incr_ns) stats.I.st_dirty
+    stats.I.st_units stats.I.st_solver_calls full_calls;
+  J.Obj
+    [
+      ("name", J.String name);
+      ("ns_per_run", J.Float incr_ns);
+      ("full_ns_per_run", J.Float full_ns);
+      ("speedup_vs_full", J.Float (full_ns /. incr_ns));
+      ("edited_decls", J.Int dirty_decls);
+      ("units", J.Int stats.I.st_units);
+      ("dirty", J.Int stats.I.st_dirty);
+      ("reused", J.Int stats.I.st_reused);
+      ("solver_calls", J.Int stats.I.st_solver_calls);
+      ("full_solver_calls", J.Int full_calls);
+      ("latency", Dml_gate.Percentile.latency_doc incr_ms);
+    ]
+
+(* The 100% row: a cold establishing check — every unit dirty, so this is
+   the incremental machinery's overhead over a plain full check. *)
+let cold_scenario ~runs ~name =
+  let src = buffer base_revs in
+  let full_rp = full_check src in
+  let incr_rp, stats =
+    incr_check (I.create ()) (session ()) src
+  in
+  if scrub (report_doc incr_rp) <> scrub (report_doc full_rp) then
+    die "%s: incremental report differs from the cold full check" name;
+  let full_calls = List.length full_rp.P.rp_obligations in
+  let incr_ms =
+    timed_runs runs
+      ~setup:(fun () -> (I.create (), session ()))
+      (fun (st, sess) -> incr_check st sess src)
+  in
+  let full_ms = timed_runs runs ~setup:session (fun sess -> P.check_s sess src) in
+  let incr_ns = min_ns incr_ms and full_ns = min_ns full_ms in
+  Printf.printf "%-22s %10.2f ms incr  %10.2f ms full  %6.2fx  dirty %d/%d  calls %d/%d\n%!"
+    name (incr_ns /. 1e6) (full_ns /. 1e6) (full_ns /. incr_ns) stats.I.st_dirty
+    stats.I.st_units stats.I.st_solver_calls full_calls;
+  J.Obj
+    [
+      ("name", J.String name);
+      ("ns_per_run", J.Float incr_ns);
+      ("full_ns_per_run", J.Float full_ns);
+      ("speedup_vs_full", J.Float (full_ns /. incr_ns));
+      ("edited_decls", J.Int stats.I.st_units);
+      ("units", J.Int stats.I.st_units);
+      ("dirty", J.Int stats.I.st_dirty);
+      ("reused", J.Int stats.I.st_reused);
+      ("solver_calls", J.Int stats.I.st_solver_calls);
+      ("full_solver_calls", J.Int full_calls);
+      ("latency", Dml_gate.Percentile.latency_doc incr_ms);
+    ]
+
+let () =
+  let json_file = ref "BENCH_incr.json" in
+  let runs = ref 3 in
+  Arg.parse
+    [
+      ("--json", Arg.Set_string json_file, "FILE  write results as dml-bench/1 JSON");
+      ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 3)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "incr [--json FILE]: time incremental rechecks by edit size over the Table 1 corpus";
+  let runs = !runs in
+  let ten_pct = max 1 ((List.length Pr.table_benchmarks + n_probes + 9) / 10) in
+  let r1 = scenario ~runs ~name:"incr/recheck/1decl" ~dirty_decls:1 (buffer (bump 1)) in
+  let r10 =
+    scenario ~runs ~name:"incr/recheck/10pct" ~dirty_decls:ten_pct (buffer (bump ten_pct))
+  in
+  let r100 = cold_scenario ~runs ~name:"incr/recheck/100pct" in
+  let rows = [ r1; r10; r100 ] in
+  let doc = J.Obj [ ("schema", J.String "dml-bench/1"); ("rows", J.List rows) ] in
+  match J.write_file !json_file doc with
+  | Ok () -> ()
+  | Error msg -> die "cannot write %s: %s" !json_file msg

@@ -146,23 +146,9 @@ let client_main ~socket : sample list =
 
 (* --- percentile helpers ------------------------------------------------ *)
 
-let percentile sorted q =
-  match Array.length sorted with
-  | 0 -> 0.
-  | n -> sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
-
+(* shared with bench/incr and unit-tested for the empty/one-sample edges *)
 let latency_doc samples =
-  let a = Array.of_list (List.map (fun s -> s.s_latency *. 1000.) samples) in
-  Array.sort compare a;
-  J.Obj
-    [
-      ("requests", J.Int (Array.length a));
-      ("p50_ms", J.Float (percentile a 0.50));
-      ("p90_ms", J.Float (percentile a 0.90));
-      ("p95_ms", J.Float (percentile a 0.95));
-      ("p99_ms", J.Float (percentile a 0.99));
-      ("max_ms", J.Float (percentile a 1.0));
-    ]
+  Dml_gate.Percentile.latency_doc (List.map (fun s -> s.s_latency *. 1000.) samples)
 
 (* --- the run ----------------------------------------------------------- *)
 

@@ -206,7 +206,7 @@ let infer_term =
               reject; unprovable sites degrade exactly as without $(b,--infer).")
 
 let session_options ?(mode = Session.Strict) ?jobs ?(shard_obligations = false)
-    ?(infer = false) ~solve ~cache_spec () =
+    ?(infer = false) ?(incremental = false) ~solve ~cache_spec () =
   {
     Session.op_solve = solve;
     op_cache = cache_spec;
@@ -214,6 +214,7 @@ let session_options ?(mode = Session.Strict) ?jobs ?(shard_obligations = false)
     op_jobs = jobs;
     op_shard_obligations = shard_obligations;
     op_infer = infer;
+    op_incremental = incremental;
   }
 
 (* --- observability: --trace FILE, --profile, --json -------------------------- *)

@@ -26,10 +26,12 @@ let socket_arg =
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run config cache_spec degrade jobs shard stdio socket request_timeout_ms max_queue =
+  let run config cache_spec degrade jobs shard incremental stdio socket request_timeout_ms
+      max_queue =
     let mode = if degrade then Dml_core.Session.Degrade else Dml_core.Session.Strict in
     let options =
-      session_options ~mode ?jobs ~shard_obligations:shard ~solve:config ~cache_spec ()
+      session_options ~mode ?jobs ~shard_obligations:shard ~incremental ~solve:config
+        ~cache_spec ()
     in
     let server = Server.create ~options ~request_timeout_ms ~max_queue () in
     if stdio then Server.serve_stdio server
@@ -41,6 +43,15 @@ let serve_cmd =
   let stdio =
     let doc = "Serve a single connection on stdin/stdout instead of a socket." in
     Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let incremental =
+    let doc =
+      "Declaration-grain incremental rechecking: keep a per-declaration verdict store \
+       and serve $(b,check_patch) requests by re-solving only the declarations whose \
+       content or dependencies changed since the base source.  Check documents are \
+       byte-identical to a cold full check modulo schedule-dependent fields."
+    in
+    Arg.(value & flag & info [ "incremental" ] ~doc)
   in
   let request_timeout_ms =
     let doc =
@@ -71,7 +82,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ solve_config $ cache_spec_term ~default_on:true $ degrade_flag
-      $ batch_jobs_term $ shard_term $ stdio $ socket_arg $ request_timeout_ms $ max_queue)
+      $ batch_jobs_term $ shard_term $ incremental $ stdio $ socket_arg $ request_timeout_ms
+      $ max_queue)
 
 (* --- client helpers ---------------------------------------------------------- *)
 

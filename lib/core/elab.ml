@@ -795,9 +795,20 @@ and bind_pattern st ctx (p : Tast.tpat) ty scheme =
 
 type result = { res_denv : Denv.t; res_obligations : obligation list }
 
-let elaborate denv tprog =
+(* Staged elaboration: the exact fold of [elaborate], resumable between
+   top-level items.  The carried state is the full elaboration context —
+   not just the environment — because a top-level [val] whose type opens
+   existential indices pushes universal entries ([Euni]/[Ehyp]) that scope
+   over every later obligation's quantifier prefix; exporting only [Denv.t]
+   between items would silently drop them.  Keeping the context whole makes
+   item-at-a-time elaboration equal to whole-program elaboration by
+   construction (the incremental checker's correctness hinges on it). *)
+type ectx = ctx
+
+let initial_ectx denv = initial_ctx denv
+
+let elaborate_tops ctx tprog =
   let st = { obligations = [] } in
-  let ctx = initial_ctx denv in
   let final_ctx =
     List.fold_left
       (fun ctx ttop ->
@@ -819,8 +830,12 @@ let elaborate denv tprog =
         | Tast.TTdec td -> check_dec st ctx td)
       ctx tprog
   in
-  (* export the top-level term bindings through the environment *)
-  let denv =
-    SMap.fold (fun x ds denv -> Denv.add_val denv x ds) final_ctx.vals final_ctx.denv
-  in
-  { res_denv = denv; res_obligations = List.rev st.obligations }
+  (final_ctx, List.rev st.obligations)
+
+(* export the top-level term bindings through the environment *)
+let export_denv ctx =
+  SMap.fold (fun x ds denv -> Denv.add_val denv x ds) ctx.vals ctx.denv
+
+let elaborate denv tprog =
+  let final_ctx, obligations = elaborate_tops (initial_ctx denv) tprog in
+  { res_denv = export_denv final_ctx; res_obligations = obligations }

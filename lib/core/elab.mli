@@ -29,3 +29,29 @@ type result = {
 val elaborate : Denv.t -> Tast.tprogram -> result
 (** @raise Error on a dependent-type error detectable without solving
     (arity/kind mismatches, non-matching type structure, unknown names). *)
+
+(** {1 Staged elaboration}
+
+    The same fold as {!elaborate}, resumable between top-level items: the
+    declaration-grain incremental checker ({!Incr}) elaborates one item at
+    a time to learn which obligations each declaration generates.  The
+    carried {!ectx} is the {e whole} elaboration context, not just the
+    environment — a top-level [val] whose type opens existential indices
+    pushes universal entries that wrap every later obligation's quantifier
+    prefix, so elaborating [p1 @ p2] in one call and elaborating [p1] then
+    [p2] through a threaded {!ectx} produce identical obligations. *)
+
+type ectx
+
+val initial_ectx : Denv.t -> ectx
+
+val elaborate_tops : ectx -> Tast.tprogram -> ectx * obligation list
+(** Elaborate the items under the carried context, returning the extended
+    context and the items' obligations in generation order.
+    [elaborate denv p] = the composition of [elaborate_tops] over any
+    partition of [p] started from [initial_ectx denv].
+    @raise Error as {!elaborate}. *)
+
+val export_denv : ectx -> Denv.t
+(** The context's environment with the top-level term bindings folded in —
+    what {!elaborate} returns as [res_denv]. *)

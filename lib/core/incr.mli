@@ -1,0 +1,47 @@
+(** Declaration-grain incremental rechecking.
+
+    A {!state} is a store of solved per-declaration units, content-addressed
+    by a digest over the declaration's own (pretty-printed, hence location-
+    and comment-insensitive) source plus the digests of every earlier
+    declaration it references — so dirtiness propagates transitively
+    through the dependency graph by digest composition alone.  {!check}
+    runs the whole front end (parse, ML inference, staged elaboration; all
+    cheap, keeping locations, warnings and metrics exact) but sends only
+    the obligations of units missing from the store to the solver, reusing
+    stored verdicts for the clean remainder.
+
+    Reports are equivalent to a cold {!Pipeline.check_s} of the same source
+    up to the schedule-dependent fields; with no verdict cache the solver
+    stats block is equal too, because each unit's solver-work delta is
+    stored and merged back.  The edit-sequence differential fuzzer
+    ([test/test_incr.ml]) asserts this byte-for-byte across random patch
+    sequences.
+
+    A state must not be shared across option sets that check differently:
+    store keys are prefixed with the session's options fingerprint, so a
+    mismatched session never reuses (it only re-solves).  The [dmld] server
+    keeps one state per fingerprint behind the [check_patch] op. *)
+
+type state
+
+val create : unit -> state
+
+val stored_units : state -> int
+(** Units currently held (across every source checked through the state). *)
+
+type stats = {
+  st_units : int;  (** user declarations in the checked source *)
+  st_dirty : int;  (** units (re-)solved this check *)
+  st_reused : int;  (** units answered from the store *)
+  st_solver_calls : int;  (** obligations actually sent to the solver *)
+}
+
+val check :
+  state -> Session.t -> string -> (Pipeline.report * stats, Pipeline.failure) result
+(** Incrementally check [src] under the session, updating the state.
+    Never raises (same failure conversion as {!Pipeline.check_s}); a
+    front-end failure leaves the state unchanged. *)
+
+val unit_digests : Dml_lang.Ast.program -> string list
+(** The per-declaration digests, in program order (exposed for tests and
+    the [dmld] server's base-id bookkeeping). *)

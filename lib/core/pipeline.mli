@@ -114,6 +114,18 @@ val failure_of_exn : exn -> failure
     and the catch-all [`Internal] case), exposed for engines that stage
     front-end calls themselves. *)
 
+val with_session_sink : Session.t -> (unit -> 'a) -> 'a
+(** Run [f] with the session's trace sink installed (restoring whatever was
+    active), as {!check_s} does — for engines ({!Dml_infer.Engine},
+    {!Incr}) that stage pipeline calls themselves. *)
+
+val count_code_lines : string -> int
+(** Non-blank source lines — the [code_lines] report metric. *)
+
+val annotation_metrics : (int * int) list -> int * int
+(** [(annotations, annotation_lines)] from the parser's annotation spans —
+    the Table 1 metrics, shared with staged front ends. *)
+
 val solve_obligation_s :
   Session.t -> ?stats:Solver.stats -> Elab.obligation -> checked_obligation
 (** Decide one obligation under a fresh budget built from the session's

@@ -38,6 +38,7 @@ type options = {
   op_jobs : int option;
   op_shard_obligations : bool;
   op_infer : bool;
+  op_incremental : bool;
 }
 
 let default_options =
@@ -48,6 +49,7 @@ let default_options =
     op_jobs = None;
     op_shard_obligations = false;
     op_infer = false;
+    op_incremental = false;
   }
 
 let json_of_int_opt = function None -> Json.Null | Some n -> Json.Int n
@@ -81,7 +83,12 @@ let options_fields o =
     (* emitted only when set: every pre-inference fingerprint, memo key and
        golden transcript stays byte-stable, while inferring and
        non-inferring checks can never share a memo or cache entry *)
-    @ if o.op_infer then [ ("infer", Json.Bool true) ] else []
+    @ (if o.op_infer then [ ("infer", Json.Bool true) ] else [])
+    (* same conditional-emission rule: an incremental server keeps its own
+       memo space (its per-declaration verdict store is warm state the
+       fingerprint must witness), while every pre-existing fingerprint and
+       memo key stays byte-stable with the flag unset *)
+    @ if o.op_incremental then [ ("incremental", Json.Bool true) ] else []
 
 let options_to_json o = Json.Obj (options_fields o)
 

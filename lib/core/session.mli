@@ -72,6 +72,14 @@ type options = {
           hence {!memo_key} and the verdict-cache keying) only when set, so
           inferring and non-inferring checks never share memo entries while
           every pre-existing fingerprint stays stable. *)
+  op_incremental : bool;
+      (** declaration-grain incremental rechecking ([dmld serve
+          --incremental]): the server keeps a per-declaration verdict store
+          ({!Incr.state}) and answers [check_patch] requests by re-solving
+          only the dirty cone of an edit.  Folded into {!fingerprint} only
+          when set — the same conditional-emission rule as [op_infer] — so
+          every pre-existing fingerprint, memo key and golden transcript
+          stays byte-stable with the flag unset. *)
 }
 
 val default_options : options

@@ -7,6 +7,12 @@ let max_frame = 16 * 1024 * 1024
 
 type request =
   | Check of { program : string option; source : string; options : Json.t option }
+  | Check_patch of {
+      program : string option;
+      source : string;
+      base : string option;
+      options : Json.t option;
+    }
   | Batch of { programs : (string * string) list; options : Json.t option }
   | Status
   | Metrics
@@ -16,6 +22,7 @@ type envelope = { id : Json.t; req : request }
 
 let op_name = function
   | Check _ -> "check"
+  | Check_patch _ -> "check_patch"
   | Batch _ -> "batch"
   | Status -> "status"
   | Metrics -> "metrics"
@@ -67,6 +74,29 @@ let parse_request v =
               | Ok (Some source), Ok program -> ret (Check { program; source; options })
               | Ok None, _ -> Error "check: missing \"source\""
               | Error e, _ | _, Error e -> Error ("check: " ^ e)))
+      | "check_patch" -> (
+          match
+            check_fields ~allowed:[ "op"; "id"; "source"; "base"; "program"; "options" ] v
+          with
+          | Error e -> Error e
+          | Ok () -> (
+              (* [base] is the source id of an earlier successful check to
+                 patch against; null or absent means a cold establishing
+                 check.  It is advisory — the store is content-addressed, so
+                 a stale base only costs reuse, never correctness — but an
+                 unknown id is rejected loudly so editors learn their chain
+                 broke. *)
+              let base =
+                match Json.member "base" v with
+                | None | Some Json.Null -> Ok None
+                | Some (Json.String s) -> Ok (Some s)
+                | Some _ -> Error "field \"base\" must be a string or null"
+              in
+              match (field_string "source" v, field_string "program" v, base) with
+              | Ok (Some source), Ok program, Ok base ->
+                  ret (Check_patch { program; source; base; options })
+              | Ok None, _, _ -> Error "check_patch: missing \"source\""
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error ("check_patch: " ^ e)))
       | "batch" -> (
           match check_fields ~allowed:[ "op"; "id"; "programs"; "options" ] v with
           | Error e -> Error e

@@ -9,12 +9,16 @@
 
     Request envelope (unknown fields are rejected, so typos fail loudly):
     {v
-      { "op": "check" | "batch" | "status" | "metrics" | "shutdown",
+      { "op": "check" | "check_patch" | "batch" | "status" | "metrics"
+            | "shutdown",
         "id": <any JSON, echoed back>?,          // correlation id
         ... op-specific fields ... }
     v}
     - [check]: ["source"] (program text, required), ["program"] (display
       name, default ["-"]), ["options"] (solve/mode overrides).
+    - [check_patch]: like [check] plus ["base"] (a prior response's
+      ["source_id"], or null) — declaration-grain incremental recheck,
+      served only by [dmld --incremental] (see {!request}).
     - [batch]: ["programs"]: array of [{"source", "program"?}], ["options"].
     - [status], [metrics], [shutdown]: no extra fields.
 
@@ -37,9 +41,10 @@
     [metrics] is [dml-metrics/1].
 
     Error codes: ["bad-json"] (unparseable payload), ["bad-request"]
-    (envelope/field errors), ["oversized-frame"] (header announced more
-    than {!max_frame}; the connection is closed, since the stream cannot be
-    resynchronized). *)
+    (envelope/field errors), ["unknown-base"] (a [check_patch] named a base
+    source id the server has never checked), ["oversized-frame"] (header
+    announced more than {!max_frame}; the connection is closed, since the
+    stream cannot be resynchronized). *)
 
 open Dml_obs
 
@@ -52,6 +57,23 @@ val max_frame : int
 
 type request =
   | Check of { program : string option; source : string; options : Json.t option }
+  | Check_patch of {
+      program : string option;
+      source : string;
+      base : string option;
+      options : Json.t option;
+    }
+      (** Incremental recheck ([dmld --incremental] servers only): [source]
+          is the {e full} replacement text, [base] the ["source_id"] of an
+          earlier successful check to patch against ([null]/absent: a cold
+          establishing check; an unknown id is an ["unknown-base"] error).
+          The result is [{"check": <dml-check doc>, "incr": {"units",
+          "dirty", "reused", "solver_calls", "source_id"}}] — the check
+          document has the same bytes a cold full check would produce,
+          modulo schedule-dependent fields and (under a shared verdict
+          cache) the solver-stats block, but only the units whose digest
+          changed were re-solved.  Chain edits by passing each response's
+          ["source_id"] as the next request's [base]. *)
   | Batch of { programs : (string * string) list; options : Json.t option }
       (** (display name, source) pairs *)
   | Status

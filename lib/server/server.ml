@@ -7,6 +7,19 @@ module Cache = Dml_cache.Cache
 
 let ops = [ "check"; "batch"; "status"; "metrics"; "shutdown" ]
 
+(* The warm state behind [check_patch] ([--incremental] servers only).
+   Both tables are segregated by options fingerprint, mirroring the unit
+   store's own keying: a base options change (or per-request override)
+   never reuses verdicts across option sets that check differently. *)
+type incr_store = {
+  i_states : (string, Dml_core.Incr.state) Hashtbl.t;
+      (** options fingerprint -> per-declaration verdict store *)
+  i_sources : (string, int) Hashtbl.t;
+      (** fingerprint × source id -> unit count of a successfully checked
+          source: the registry [base] ids are validated against, and the
+          unit count behind a memo hit's [incr] object *)
+}
+
 type t = {
   t_session : Session.t;
   t_memo : (string, Json.t) Hashtbl.t;
@@ -18,6 +31,8 @@ type t = {
   mutable t_stop : bool;
   t_dispatch : Dispatch.t option;
       (** the warm worker pool, when the server was created with jobs *)
+  t_incr : incr_store option;
+      (** [Some] exactly when the server options set [op_incremental] *)
 }
 
 let default_request_timeout_ms = 30_000
@@ -42,6 +57,10 @@ let create ?(options = Session.default_options) ?(request_timeout_ms = default_r
     t_started = Clock.now ();
     t_stop = false;
     t_dispatch;
+    t_incr =
+      (if options.Session.op_incremental then
+         Some { i_states = Hashtbl.create 4; i_sources = Hashtbl.create 64 }
+       else None);
   }
 
 let session t = t.t_session
@@ -148,6 +167,99 @@ let do_check t ~id ~program ~source ~options =
                   response_of_outcome ~id ~op:"check" ~timeout_ms:(Dispatch.timeout_ms d)
                     outcome)))
 
+let incr_json ~source_id ~units ~dirty ~reused ~solver_calls =
+  Json.Obj
+    [
+      ("units", Json.Int units);
+      ("dirty", Json.Int dirty);
+      ("reused", Json.Int reused);
+      ("solver_calls", Json.Int solver_calls);
+      ("source_id", Json.String source_id);
+    ]
+
+(* Incremental recheck.  Always computed in the parent process — even under
+   a worker pool — because the parent owns the per-declaration verdict
+   store; the work a worker would do is exactly what the store lets us
+   skip.  The memo is shared with plain [check] (same key shape), so
+   patching back to an already-checked source returns the stored document
+   verbatim, byte-for-byte. *)
+let do_check_patch t ~id ~program ~source ~base ~options =
+  match t.t_incr with
+  | None ->
+      Protocol.error_response ~id ~code:"bad-request"
+        "check_patch requires a server started with --incremental"
+  | Some inc -> (
+      match request_session t options with
+      | Error e -> Protocol.error_response ~id ~code:"bad-request" e
+      | Ok (opts, session) ->
+          if opts.Session.op_infer then
+            Protocol.error_response ~id ~code:"bad-request"
+              "check_patch does not compose with infer (inference is whole-program)"
+          else begin
+            let program = Option.value program ~default:"-" in
+            let fp = Session.fingerprint opts in
+            let source_id = Digest.to_hex (Digest.string source) in
+            let source_key sid = fp ^ ":" ^ sid in
+            match base with
+            | Some b when not (Hashtbl.mem inc.i_sources (source_key b)) ->
+                Protocol.error_response ~id ~code:"unknown-base"
+                  (Printf.sprintf
+                     "base %S is not the source id of a successful check under these options" b)
+            | _ -> (
+                let key = memo_key_of opts ~program source in
+                match
+                  ( Hashtbl.find_opt t.t_memo key,
+                    Hashtbl.find_opt inc.i_sources (source_key source_id) )
+                with
+                | Some doc, Some units ->
+                    t.t_memo_hits <- t.t_memo_hits + 1;
+                    Protocol.ok_response ~id ~op:"check_patch" ~memo:true
+                      (Json.Obj
+                         [
+                           ("check", doc);
+                           ( "incr",
+                             incr_json ~source_id ~units ~dirty:0 ~reused:units ~solver_calls:0
+                           );
+                         ])
+                | _ -> (
+                    let state =
+                      match Hashtbl.find_opt inc.i_states fp with
+                      | Some st -> st
+                      | None ->
+                          let st = Dml_core.Incr.create () in
+                          Hashtbl.replace inc.i_states fp st;
+                          st
+                    in
+                    match Dml_core.Incr.check state session source with
+                    | Ok (report, stats) ->
+                        let doc = Report_json.of_report ~program report in
+                        memo_store t key doc;
+                        Hashtbl.replace inc.i_sources (source_key source_id)
+                          stats.Dml_core.Incr.st_units;
+                        Protocol.ok_response ~id ~op:"check_patch"
+                          (Json.Obj
+                             [
+                               ("check", doc);
+                               ( "incr",
+                                 incr_json ~source_id ~units:stats.Dml_core.Incr.st_units
+                                   ~dirty:stats.Dml_core.Incr.st_dirty
+                                   ~reused:stats.Dml_core.Incr.st_reused
+                                   ~solver_calls:stats.Dml_core.Incr.st_solver_calls );
+                             ])
+                    | Error f ->
+                        (* a failed source is never registered: it cannot
+                           serve as a base, and its memo slot stays empty *)
+                        let doc = Report_json.of_failure ~program f in
+                        Protocol.ok_response ~id ~op:"check_patch"
+                          (Json.Obj
+                             [
+                               ("check", doc);
+                               ( "incr",
+                                 incr_json ~source_id ~units:0 ~dirty:0 ~reused:0
+                                   ~solver_calls:0 );
+                             ])))
+          end)
+
 let do_batch t ~id ~programs ~options =
   match request_session t options with
   | Error e -> Protocol.error_response ~id ~code:"bad-request" e
@@ -182,10 +294,13 @@ let do_batch t ~id ~programs ~options =
 
 let status_doc t =
   let requests =
+    (* check_patch appears only on --incremental servers, so the status
+       document of every pre-existing configuration keeps its exact bytes *)
+    let visible_ops = ops @ match t.t_incr with Some _ -> [ "check_patch" ] | None -> [] in
     List.map
       (fun op ->
         (op, Json.Int (match Hashtbl.find_opt t.t_requests op with Some r -> !r | None -> 0)))
-      ops
+      visible_ops
   in
   Json.Obj
     ([
@@ -217,6 +332,8 @@ let handle t v =
       count_request t (Protocol.op_name req);
       match req with
       | Protocol.Check { program; source; options } -> do_check t ~id ~program ~source ~options
+      | Protocol.Check_patch { program; source; base; options } ->
+          do_check_patch t ~id ~program ~source ~base ~options
       | Protocol.Batch { programs; options } -> do_batch t ~id ~programs ~options
       | Protocol.Status -> Protocol.ok_response ~id ~op:"status" (status_doc t)
       | Protocol.Metrics -> Protocol.ok_response ~id ~op:"metrics" (Metrics.to_json ())
@@ -464,6 +581,10 @@ let serve_unix t ~path =
                             | None ->
                                 submit ~op:"check" ~key:(Some key) ~options:opts
                                   (Dispatch.T_check { program; source }))))
+                | Protocol.Check_patch { program; source; base; options } ->
+                    (* parent-computed even in pool mode: the parent owns
+                       the unit store, and the dirty cone is the cheap part *)
+                    immediate (do_check_patch t ~id ~program ~source ~base ~options)
                 | Protocol.Batch { programs; options } -> (
                     match request_session t options with
                     | Error e -> immediate (Protocol.error_response ~id ~code:"bad-request" e)

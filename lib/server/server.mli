@@ -9,7 +9,14 @@
       unchanged program under unchanged options is answered from the memo —
       zero solver calls — with the stored result document verbatim and
       ["memo": true] in the envelope.  The memo always lives in the {e
-      parent} process, including under a worker pool.
+      parent} process, including under a worker pool;
+    - on a [--incremental] server, a per-declaration verdict store
+      ({!Dml_core.Incr}) behind the [check_patch] op: an edited source is
+      re-solved only over the units whose content-plus-dependency digest
+      changed, and the memo is shared with plain [check], so patching back
+      to an already-checked source restores its stored document verbatim.
+      [check_patch] always runs in the parent process (the parent owns the
+      store), even under a worker pool.
 
     Concurrency model.  Without a worker pool (no [op_jobs] in the
     options), the socket loop is a single-process non-blocking

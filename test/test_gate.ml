@@ -5,6 +5,8 @@
    PASSED — plus the two legitimate verdicts (within band / regressed). *)
 
 module Gate_core = Dml_gate.Gate_core
+module Percentile = Dml_gate.Percentile
+module J = Dml_obs.Json
 
 let write_tmp name contents =
   let path = Filename.concat (Filename.get_temp_dir_name ()) ("gate_test_" ^ name) in
@@ -107,6 +109,51 @@ let test_invalid_baseline () =
   | Error e -> Alcotest.(check int) "exit 2" 2 (Gate_core.exit_code (Error e)));
   Sys.remove run
 
+(* --- the shared percentile estimator ------------------------------------------ *)
+
+(* Nearest-rank edges for the estimator both latency harnesses lean on
+   (bench/load and bench/incr): the empty population (0.0 at every q — the
+   caller distinguishes "measured nothing" by the count, which is the
+   No_warm_samples story above), the one-sample population (that sample at
+   every q), and the textbook ranks on a small known population. *)
+
+let test_percentile_empty () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "empty at q=%g" q) 0. (Percentile.of_samples [] q))
+    [ 0.0; 0.5; 0.95; 1.0 ];
+  match Percentile.latency_doc [] with
+  | J.Obj (("requests", J.Int 0) :: rest) ->
+      List.iter
+        (fun (k, v) ->
+          Alcotest.(check bool) (k ^ " is 0.0 on an empty population") true (v = J.Float 0.))
+        rest
+  | _ -> Alcotest.fail "latency_doc [] should lead with requests=0"
+
+let test_percentile_one_sample () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "one sample at q=%g" q)
+        7.25
+        (Percentile.of_samples [ 7.25 ] q))
+    [ 0.0; 0.5; 0.95; 1.0 ]
+
+let test_percentile_ranks () =
+  (* ten distinct samples, shuffled: nearest-rank q*n lands exactly *)
+  let samples = [ 9.; 2.; 7.; 1.; 10.; 4.; 6.; 3.; 8.; 5. ] in
+  List.iter
+    (fun (q, expect) ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "q=%g" q) expect (Percentile.of_samples samples q))
+    [ (0.50, 5.); (0.90, 9.); (0.95, 10.); (0.99, 10.); (1.0, 10.) ];
+  (* the summary object pins the dml-load/1 field set and order *)
+  match Percentile.latency_doc samples with
+  | J.Obj fields ->
+      Alcotest.(check (list string)) "field order"
+        [ "requests"; "p50_ms"; "p90_ms"; "p95_ms"; "p99_ms"; "max_ms" ]
+        (List.map fst fields)
+  | _ -> Alcotest.fail "latency_doc should be an object"
+
 let () =
   Alcotest.run "gate"
     [
@@ -123,5 +170,11 @@ let () =
         [
           Alcotest.test_case "within band" `Quick test_within_band;
           Alcotest.test_case "regressed" `Quick test_regressed;
+        ] );
+      ( "percentile",
+        [
+          Alcotest.test_case "empty population" `Quick test_percentile_empty;
+          Alcotest.test_case "one sample" `Quick test_percentile_one_sample;
+          Alcotest.test_case "nearest-rank" `Quick test_percentile_ranks;
         ] );
     ]

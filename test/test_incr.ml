@@ -1,0 +1,461 @@
+(* Declaration-grain incremental rechecking (lib/core/incr.ml) and the
+   dml-server/1 check_patch op: the edit-sequence differential fuzzer plus
+   the deterministic regressions around it.
+
+   The central property: after EVERY edit in a random patch sequence, the
+   incremental report is byte-identical (modulo the schedule-dependent
+   fields, both sides cache-free) to a cold full `Pipeline.check_s` of the
+   same text.  Edits include binder renames, array-bound changes,
+   out-of-bounds weakenings (residual obligations must match too),
+   declaration swaps, delete/reinsert, parse-breaking garbage (failure
+   documents must match too) and comment/whitespace-only decorations.  A
+   failing sequence is shrunk to a minimal edit script before reporting. *)
+
+module J = Dml_obs.Json
+module Metrics = Dml_obs.Metrics
+module P = Dml_core.Pipeline
+module S = Dml_core.Session
+module I = Dml_core.Incr
+module R = Dml_core.Report_json
+module Pr = Dml_programs.Programs
+module Server = Dml_server.Server
+
+let scrub doc = J.scrub ~keys:R.schedule_dependent_fields doc
+
+let doc_of ~program result =
+  match result with
+  | Ok rp -> R.of_report ~program rp
+  | Error f -> R.of_failure ~program f
+
+let session () = S.create ~options:S.default_options ()
+
+let full_doc src =
+  scrub (doc_of ~program:"fuzz" (P.check_s (session ()) src))
+
+let debug = Sys.getenv_opt "DML_INCR_FUZZ_DEBUG" <> None
+
+let incr_doc st sess src =
+  match I.check st sess src with
+  | Ok (rp, stats) -> (scrub (R.of_report ~program:"fuzz" rp), Some stats)
+  | Error f ->
+      if debug then Printf.eprintf "fuzz failure step: %s\n%!" (P.failure_to_string f);
+      (scrub (R.of_failure ~program:"fuzz" f), None)
+
+(* --- the edit model ---------------------------------------------------- *)
+
+(* The buffer is a list of segments: opaque corpus programs plus probe
+   declarations the ops can rewrite structurally.  [p_bad] makes the
+   probe's access out of bounds (a residual obligation, not an error);
+   [s_comment] is a comment/whitespace decoration that must never dirty a
+   unit. *)
+type probe = { p_slot : int; p_suffix : int; p_idx : int; p_rev : int; p_bad : bool }
+
+type body = Corpus of string | Probe of probe | Garbage of body
+
+type seg = { s_body : body; s_comment : int }
+
+let probe_text { p_slot; p_suffix; p_idx; p_rev; p_bad } =
+  let name = Printf.sprintf "dmlprobe%d_%d" p_slot p_suffix in
+  Printf.sprintf "fun %s(a) = sub(a, %d%s) + %d\nwhere %s <| {n:nat | n > %d} int array(n) -> int\n"
+    name p_idx
+    (if p_bad then " + 1" else "")
+    p_rev name p_idx
+
+let seg_text s =
+  let body =
+    match s.s_body with
+    | Corpus src -> src
+    | Probe p -> probe_text p
+    | Garbage _ -> "fun = = garbage\n"
+  in
+  if s.s_comment = 0 then body
+  else Printf.sprintf "(* decoration %d *)\n\n%s\n(* end %d *)\n" s.s_comment body s.s_comment
+
+let render segs = String.concat "\n" (List.map seg_text segs)
+
+type op =
+  | Rename of int * int  (** probe pick, new suffix *)
+  | Rebound of int * int  (** probe pick, new array bound *)
+  | Bump of int * int  (** probe pick, new body constant *)
+  | Toggle_bad of int  (** probe pick: flip in/out of bounds *)
+  | Swap of int * int  (** segment positions *)
+  | Delete of int  (** segment position -> clipboard *)
+  | Reinsert of int  (** clipboard -> position *)
+  | Break of int  (** replace segment with unparseable garbage *)
+  | Comment of int * int  (** segment, decoration tag (0 clears) *)
+
+let op_to_string = function
+  | Rename (i, k) -> Printf.sprintf "Rename (%d, %d)" i k
+  | Rebound (i, k) -> Printf.sprintf "Rebound (%d, %d)" i k
+  | Bump (i, k) -> Printf.sprintf "Bump (%d, %d)" i k
+  | Toggle_bad i -> Printf.sprintf "Toggle_bad %d" i
+  | Swap (i, j) -> Printf.sprintf "Swap (%d, %d)" i j
+  | Delete i -> Printf.sprintf "Delete %d" i
+  | Reinsert i -> Printf.sprintf "Reinsert %d" i
+  | Break i -> Printf.sprintf "Break %d" i
+  | Comment (i, k) -> Printf.sprintf "Comment (%d, %d)" i k
+
+type buffer = { segs : seg list; clipboard : seg option }
+
+(* Ops address segments modulo the current length, so any script replays
+   deterministically on any intermediate state — which is what makes
+   shrinking (dropping arbitrary ops) sound. *)
+let nth_mod segs i = i mod max 1 (List.length segs)
+
+let update_at segs i f = List.mapi (fun j s -> if j = i then f s else s) segs
+
+let probe_positions segs =
+  List.filteri (fun _ _ -> true) (List.mapi (fun j s -> (j, s)) segs)
+  |> List.filter_map (fun (j, s) -> match s.s_body with Probe _ -> Some j | _ -> None)
+
+let update_probe buf pick f =
+  match probe_positions buf.segs with
+  | [] -> buf
+  | ps ->
+      let j = List.nth ps (pick mod List.length ps) in
+      {
+        buf with
+        segs =
+          update_at buf.segs j (fun s ->
+              match s.s_body with
+              | Probe p -> { s with s_body = Probe (f p) }
+              | _ -> s);
+      }
+
+let apply buf op =
+  match op with
+  | Rename (pick, k) -> update_probe buf pick (fun p -> { p with p_suffix = k })
+  | Rebound (pick, k) -> update_probe buf pick (fun p -> { p with p_idx = k mod 8 })
+  | Bump (pick, k) -> update_probe buf pick (fun p -> { p with p_rev = k })
+  | Toggle_bad pick -> update_probe buf pick (fun p -> { p with p_bad = not p.p_bad })
+  | Swap (i, j) ->
+      let i = nth_mod buf.segs i and j = nth_mod buf.segs j in
+      let a = List.nth buf.segs i and b = List.nth buf.segs j in
+      { buf with segs = List.mapi (fun k s -> if k = i then b else if k = j then a else s) buf.segs }
+  | Delete i ->
+      if List.length buf.segs <= 1 || buf.clipboard <> None then buf
+      else
+        let i = nth_mod buf.segs i in
+        {
+          segs = List.filteri (fun j _ -> j <> i) buf.segs;
+          clipboard = Some (List.nth buf.segs i);
+        }
+  | Reinsert pos -> (
+      match buf.clipboard with
+      | None -> buf
+      | Some s ->
+          let pos = pos mod (List.length buf.segs + 1) in
+          let before = List.filteri (fun j _ -> j < pos) buf.segs in
+          let after = List.filteri (fun j _ -> j >= pos) buf.segs in
+          { segs = before @ (s :: after); clipboard = None })
+  | Break i -> (
+      (* repair-first, and breaking is 3x rarer than repairing: parse
+         failures must come and go, not dominate the run with
+         trivially-matching failure documents *)
+      let broken =
+        List.find_index (fun s -> match s.s_body with Garbage _ -> true | _ -> false) buf.segs
+      in
+      match broken with
+      | Some j ->
+          {
+            buf with
+            segs =
+              update_at buf.segs j (fun s ->
+                  match s.s_body with
+                  | Garbage original -> { s with s_body = original }
+                  | body -> { s with s_body = body });
+          }
+      | None when i mod 3 = 0 ->
+          let j = nth_mod buf.segs (i / 3) in
+          { buf with segs = update_at buf.segs j (fun s -> { s with s_body = Garbage s.s_body }) }
+      | None -> buf)
+  | Comment (i, k) ->
+      let i = nth_mod buf.segs i in
+      { buf with segs = update_at buf.segs i (fun s -> { s with s_comment = k }) }
+
+let initial_buffer () =
+  let corpus =
+    List.map
+      (fun (b : Pr.benchmark) -> { s_body = Corpus b.Pr.source; s_comment = 0 })
+      Pr.table_benchmarks
+  in
+  let probes =
+    List.init 6 (fun i ->
+        {
+          s_body = Probe { p_slot = i; p_suffix = 0; p_idx = i mod 4; p_rev = 0; p_bad = false };
+          s_comment = 0;
+        })
+  in
+  { segs = corpus @ probes; clipboard = None }
+
+let gen_op rand =
+  let r n = Random.State.int rand n in
+  match r 9 with
+  | 0 -> Rename (r 16, 1 + r 50)
+  | 1 -> Rebound (r 16, r 32)
+  | 2 -> Bump (r 16, r 1000)
+  | 3 -> Toggle_bad (r 16)
+  | 4 -> Swap (r 32, r 32)
+  | 5 -> if r 2 = 0 then Delete (r 32) else Reinsert (r 32)
+  | 6 -> Break (r 32)
+  | 7 -> Comment (r 32, r 5)
+  | _ -> Bump (r 16, r 1000)
+
+(* Replay a script on a fresh state, running the differential after every
+   step.  Returns the index of the first divergent step, if any. *)
+let replay ops =
+  let sess = session () in
+  let st = I.create () in
+  let buf = ref (initial_buffer ()) in
+  let rec go i = function
+    | [] -> None
+    | op :: rest ->
+        buf := apply !buf op;
+        let src = render !buf.segs in
+        let idoc, _ = incr_doc st sess src in
+        if J.to_string idoc <> J.to_string (full_doc src) then Some i else go (i + 1) rest
+  in
+  go 0 ops
+
+(* Greedy shrink: repeatedly drop any op whose removal keeps the script
+   failing, to a local fixpoint. *)
+let shrink ops =
+  let drop i l = List.filteri (fun j _ -> j <> i) l in
+  let rec fixpoint ops =
+    let n = List.length ops in
+    let rec try_drop i =
+      if i >= n then None
+      else
+        let candidate = drop i ops in
+        if replay candidate <> None then Some candidate else try_drop (i + 1)
+    in
+    match try_drop 0 with Some smaller -> fixpoint smaller | None -> ops
+  in
+  fixpoint ops
+
+let fuzz_steps () =
+  match Sys.getenv_opt "DML_INCR_FUZZ_STEPS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+let test_differential_fuzz () =
+  let steps = fuzz_steps () in
+  let rand = Random.State.make [| 0xD31; 0xE02 |] in
+  let sess = session () in
+  let st = I.create () in
+  let buf = ref (initial_buffer ()) in
+  let script = ref [] in
+  let report_steps = ref 0 and failure_steps = ref 0 and reused_total = ref 0 in
+  (try
+     for step = 1 to steps do
+       let op = gen_op rand in
+       script := !script @ [ op ];
+       buf := apply !buf op;
+       let src = render !buf.segs in
+       let idoc, stats = incr_doc st sess src in
+       (match stats with
+       | Some s ->
+           incr report_steps;
+           reused_total := !reused_total + s.I.st_reused
+       | None -> incr failure_steps);
+       let fdoc = full_doc src in
+       if J.to_string idoc <> J.to_string fdoc then begin
+         let minimal = shrink !script in
+         Alcotest.failf
+           "incremental and full reports diverged at step %d (%s); minimal edit script (%d \
+            ops):\n%s"
+           step (op_to_string op) (List.length minimal)
+           (String.concat "\n" (List.map op_to_string minimal))
+       end
+     done
+   with Stack_overflow -> Alcotest.fail "stack overflow during fuzz");
+  (* the run must have exercised both worlds: real incremental reports with
+     genuine reuse, and failure documents (Break steps) that matched too *)
+  Alcotest.(check bool) "mostly real reports" true (!report_steps >= steps / 2);
+  Alcotest.(check bool) "some failure steps" true (steps < 50 || !failure_steps > 0);
+  Alcotest.(check bool) "reuse actually happened" true (!reused_total > 0);
+  Alcotest.(check bool) "store grew" true (I.stored_units st > 0)
+
+(* --- deterministic regressions ----------------------------------------- *)
+
+let callee g =
+  Printf.sprintf
+    "fun callee(a) = sub(a, 0)\nwhere callee <| {n:nat | n > %d} int array(n) -> int\n" g
+
+let caller =
+  "fun caller(a) = callee(a) + sub(a, 3)\nwhere caller <| {n:nat | n > 5} int array(n) -> int\n"
+
+(* (a) editing a callee's interface must re-solve its callers: the caller's
+   obligations quantify over the callee's type, so its digest (which folds
+   in the callee's) changes too. *)
+let test_callee_interface_edit () =
+  let sess = session () in
+  let st = I.create () in
+  (match I.check st sess (callee 0 ^ "\n" ^ caller) with
+  | Ok (_, s) -> Alcotest.(check int) "base units" 2 s.I.st_units
+  | Error f -> Alcotest.fail (P.failure_to_string f));
+  let edited = callee 1 ^ "\n" ^ caller in
+  match I.check st sess edited with
+  | Ok (rp, s) ->
+      Alcotest.(check int) "both units dirty" 2 s.I.st_dirty;
+      Alcotest.(check int) "nothing reused" 0 s.I.st_reused;
+      Alcotest.(check string) "report matches cold full check"
+        (J.to_string (full_doc edited))
+        (J.to_string (scrub (R.of_report ~program:"fuzz" rp)))
+  | Error f -> Alcotest.fail (P.failure_to_string f)
+
+(* (b) a comment/whitespace-only edit dirties nothing and never calls the
+   solver — unit digests are over the parsed, pretty-printed declarations,
+   so concrete syntax trivia cannot reach them. *)
+let test_comment_only_edit_is_free () =
+  let src = callee 0 ^ "\n" ^ caller in
+  let sess = session () in
+  let st = I.create () in
+  (match I.check st sess src with
+  | Ok _ -> ()
+  | Error f -> Alcotest.fail (P.failure_to_string f));
+  let decorated = "(* a comment *)\n\n" ^ callee 0 ^ "\n  \n(* more *)\n" ^ caller ^ "\n" in
+  let goals_before = Metrics.value (Metrics.counter "solver.goals") in
+  match I.check st sess decorated with
+  | Ok (rp, s) ->
+      Alcotest.(check int) "dirty" 0 s.I.st_dirty;
+      Alcotest.(check int) "solver calls" 0 s.I.st_solver_calls;
+      Alcotest.(check int) "reused" 2 s.I.st_reused;
+      Alcotest.(check bool) "no solver goals ran" true
+        (Metrics.value (Metrics.counter "solver.goals") = goals_before);
+      Alcotest.(check string) "report matches cold full check"
+        (J.to_string (full_doc decorated))
+        (J.to_string (scrub (R.of_report ~program:"fuzz" rp)))
+  | Error f -> Alcotest.fail (P.failure_to_string f)
+
+(* --- the acceptance criterion: >= 5x fewer solver calls ----------------- *)
+
+(* For every Table 1 corpus program: establish it through check_patch, then
+   send a 1-declaration edit (append an index-free helper).  The dml-check
+   document must be byte-identical to a cold full check of the patched
+   source, and the solver-call count — read off the metrics registry — must
+   be at least 5x below the full check's. *)
+let zero_probe = "fun dmlprobe(x) = x + 1\nwhere dmlprobe <| int -> int\n"
+
+let patch_req ?base ~source () =
+  J.Obj
+    ([ ("op", J.String "check_patch"); ("id", J.Int 1); ("source", J.String source) ]
+    @ match base with None -> [] | Some b -> [ ("base", J.String b) ])
+
+let expect_ok name resp =
+  match (J.member "ok" resp, J.member "result" resp) with
+  | Some (J.Bool true), Some result -> result
+  | _ -> Alcotest.failf "%s: expected an ok response, got %s" name (J.to_string resp)
+
+let incr_field result name =
+  match Option.bind (J.member "incr" result) (J.member name) with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "missing incr field %s in %s" name (J.to_string result)
+
+let source_id_of result =
+  match Option.bind (J.member "incr" result) (J.member "source_id") with
+  | Some (J.String s) -> s
+  | _ -> Alcotest.fail "missing incr.source_id"
+
+let test_corpus_patch_solver_calls () =
+  List.iter
+    (fun (b : Pr.benchmark) ->
+      let options = { S.default_options with S.op_incremental = true } in
+      let server = Server.create ~options () in
+      let base_result =
+        expect_ok (b.Pr.name ^ " base")
+          (Server.handle server (patch_req ~source:b.Pr.source ()))
+      in
+      let patched = b.Pr.source ^ "\n" ^ zero_probe in
+      let calls0 = Metrics.value (Metrics.counter "incr.solver_calls") in
+      let patch_result =
+        expect_ok (b.Pr.name ^ " patch")
+          (Server.handle server
+             (patch_req ~base:(source_id_of base_result) ~source:patched ()))
+      in
+      let incr_calls = Metrics.value (Metrics.counter "incr.solver_calls") - calls0 in
+      Alcotest.(check int)
+        (b.Pr.name ^ ": registry delta agrees with the incr object")
+        (incr_field patch_result "solver_calls")
+        incr_calls;
+      let full_rp =
+        match P.check_s (session ()) patched with
+        | Ok rp -> rp
+        | Error f -> Alcotest.fail (P.failure_to_string f)
+      in
+      let full_calls = List.length full_rp.P.rp_obligations in
+      Alcotest.(check bool) (b.Pr.name ^ ": full check solves something") true (full_calls > 0);
+      if incr_calls * 5 > full_calls then
+        Alcotest.failf "%s: %d incremental solver calls vs %d full — less than 5x apart"
+          b.Pr.name incr_calls full_calls;
+      match J.member "check" patch_result with
+      | Some doc ->
+          Alcotest.(check string)
+            (b.Pr.name ^ ": byte-identical to a cold full check")
+            (J.to_string (scrub (R.of_report ~program:"-" full_rp)))
+            (J.to_string (scrub doc))
+      | None -> Alcotest.fail "missing check document")
+    Pr.table_benchmarks
+
+(* --- unit digests ------------------------------------------------------- *)
+
+let parse src =
+  match Dml_lang.Parser.parse_program src with
+  | p -> p
+  | exception e -> Alcotest.failf "parse failed: %s" (Printexc.to_string e)
+
+let test_unit_digests () =
+  let base = parse (callee 0 ^ "\n" ^ caller) in
+  let ds = I.unit_digests base in
+  Alcotest.(check int) "one digest per declaration" 2 (List.length ds);
+  (* deterministic *)
+  Alcotest.(check (list string)) "stable" ds (I.unit_digests (parse (callee 0 ^ "\n" ^ caller)));
+  (* an interface edit changes the callee's digest and its caller's *)
+  let edited = I.unit_digests (parse (callee 1 ^ "\n" ^ caller)) in
+  List.iter2
+    (fun d d' -> Alcotest.(check bool) "digest changed" true (d <> d'))
+    ds edited;
+  (* trivia never reaches a digest *)
+  Alcotest.(check (list string)) "comment-insensitive" ds
+    (I.unit_digests (parse ("(* x *)\n" ^ callee 0 ^ "\n(* y *)\n" ^ caller)))
+
+(* --- byte-stability guard ----------------------------------------------- *)
+
+(* With op_incremental unset, nothing this PR added may perturb options
+   JSON, fingerprints or memo keys: the seed constants are pinned here
+   verbatim, so any accidental unconditional field shows up as a diff. *)
+let test_fingerprint_stability () =
+  Alcotest.(check string) "default options JSON"
+    {|{"solve":{"method":"fm","escalate":false,"fuel":null,"timeout_ms":null,"max_eliminations":null},"cache":null,"mode":"strict","jobs":null,"shard_obligations":false}|}
+    (J.to_string (S.options_to_json S.default_options));
+  Alcotest.(check string) "default fingerprint" "a51a51bdc4cf65535b042e7a74c4b056"
+    (S.fingerprint S.default_options);
+  Alcotest.(check string) "memo key shape"
+    "071ff3dd54ba73a5c062b276fd74a102:a51a51bdc4cf65535b042e7a74c4b056"
+    (S.memo_key S.default_options "val x = 1");
+  (* and with the flag set, the fingerprint moves *)
+  let on = { S.default_options with S.op_incremental = true } in
+  Alcotest.(check bool) "incremental fingerprint differs" true
+    (S.fingerprint on <> S.fingerprint S.default_options)
+
+let () =
+  Alcotest.run "incr"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "edit-sequence fuzz" `Slow test_differential_fuzz;
+          Alcotest.test_case "callee interface edit re-solves callers" `Quick
+            test_callee_interface_edit;
+          Alcotest.test_case "comment-only edit is free" `Quick test_comment_only_edit_is_free;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "corpus 1-decl patches: >=5x fewer solver calls" `Slow
+            test_corpus_patch_solver_calls;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "unit digests" `Quick test_unit_digests;
+          Alcotest.test_case "fingerprint byte-stability" `Quick test_fingerprint_stability;
+        ] );
+    ]

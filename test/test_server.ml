@@ -30,6 +30,8 @@ let str s = J.String s
 let cached_options =
   { Session.default_options with Session.op_cache = Some Dml_cache.Cache.default_config }
 
+let incr_options = { Session.default_options with Session.op_incremental = true }
+
 (* --- request parsing --------------------------------------------------------- *)
 
 let parse_error v =
@@ -399,13 +401,13 @@ let with_fault_env f =
 
 let pooled_options = { cached_options with Session.op_jobs = Some 1 }
 
-let fork_pooled_server ?(max_queue = 256) ~path () =
+let fork_pooled_server ?(max_queue = 256) ?(options = pooled_options) ~path () =
   (try Sys.remove path with Sys_error _ -> ());
   match Unix.fork () with
   | 0 ->
       (try
          Server.serve_unix
-           (Server.create ~options:pooled_options ~request_timeout_ms:300 ~max_queue ())
+           (Server.create ~options ~request_timeout_ms:300 ~max_queue ())
            ~path
        with _ -> ());
       Unix._exit 0
@@ -436,6 +438,182 @@ let shutdown_and_reap fd pid =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   let _, status = Unix.waitpid [] pid in
   Alcotest.(check bool) "server exited cleanly" true (status = Unix.WEXITED 0)
+
+(* --- incremental rechecking: check_patch -------------------------------------- *)
+
+let patch_req ?(id = 0) ?base ?(program = "buf.dml") source =
+  obj
+    ([
+       ("op", str "check_patch");
+       ("id", J.Int id);
+       ("program", str program);
+       ("source", str source);
+     ]
+    @ match base with None -> [] | Some b -> [ ("base", str b) ])
+
+let incr_of what resp =
+  match J.member "incr" (result_of what resp) with
+  | Some v -> v
+  | None -> Alcotest.fail (what ^ ": response has no incr object")
+
+let check_of what resp =
+  match J.member "check" (result_of what resp) with
+  | Some v -> v
+  | None -> Alcotest.fail (what ^ ": response has no check document")
+
+let incr_int what field resp =
+  match J.member field (incr_of what resp) with
+  | Some (J.Int n) -> n
+  | _ -> Alcotest.failf "%s: incr.%s missing or not an int" what field
+
+let incr_source_id what resp =
+  match J.member "source_id" (incr_of what resp) with
+  | Some (J.String s) -> s
+  | _ -> Alcotest.fail (what ^ ": incr.source_id missing")
+
+let expect_ok what resp =
+  Alcotest.(check bool) (what ^ ": ok") true (J.member "ok" resp = Some (J.Bool true))
+
+(* The patch transcript: an establishing check (no base), a patch that adds
+   one declaration (only the new declaration re-solved), and a patch that
+   reverts to the base — whose response document must be the establishing
+   check's document byte-for-byte, straight from the memo. *)
+let test_patch_roundtrip () =
+  let server = Server.create ~options:incr_options () in
+  let patched_src = src_ok ^ "val y = sub(a, 3)\n" in
+  let r1 = Server.handle server (patch_req ~id:1 src_ok) in
+  expect_ok "establishing check" r1;
+  Alcotest.(check bool) "establishing check computes" true (J.member "memo" r1 = None);
+  let units = incr_int "r1" "units" r1 in
+  Alcotest.(check bool) "the base has units" true (units > 0);
+  Alcotest.(check int) "a cold check dirties every unit" units (incr_int "r1" "dirty" r1);
+  Alcotest.(check int) "a cold check reuses nothing" 0 (incr_int "r1" "reused" r1);
+  let base_id = incr_source_id "r1" r1 in
+  let r2 = Server.handle server (patch_req ~id:2 ~base:base_id patched_src) in
+  expect_ok "patch" r2;
+  Alcotest.(check int) "only the new declaration is dirty" 1 (incr_int "r2" "dirty" r2);
+  Alcotest.(check int) "every old declaration is reused" units (incr_int "r2" "reused" r2);
+  Alcotest.(check int) "units grew by the new declaration" (units + 1) (incr_int "r2" "units" r2);
+  Alcotest.(check bool) "the dirty declaration cost solver work" true
+    (incr_int "r2" "solver_calls" r2 >= 1);
+  let patched_id = incr_source_id "r2" r2 in
+  let r3 = Server.handle server (patch_req ~id:3 ~base:patched_id src_ok) in
+  Alcotest.(check bool) "the reverting patch is answered from the memo" true
+    (J.member "memo" r3 = Some (J.Bool true));
+  Alcotest.(check int) "the revert dirties nothing" 0 (incr_int "r3" "dirty" r3);
+  Alcotest.(check int) "the revert makes no solver calls" 0 (incr_int "r3" "solver_calls" r3);
+  Alcotest.(check int) "the revert reuses every unit" units (incr_int "r3" "reused" r3);
+  Alcotest.(check string) "the revert restores the original source id" base_id
+    (incr_source_id "r3" r3);
+  Alcotest.(check string) "the revert restores the original document byte-for-byte"
+    (J.to_string (check_of "r1" r1))
+    (J.to_string (check_of "r3" r3))
+
+let test_patch_rejections () =
+  (* parse-level strictness: the op rejects fields it does not know *)
+  check_error_mentions "check_patch unknown field"
+    (obj [ ("op", str "check_patch"); ("source", str "x"); ("sauce", str "y") ])
+    "unknown field \"sauce\"";
+  check_error_mentions "check_patch without source"
+    (obj [ ("op", str "check_patch") ])
+    "missing \"source\"";
+  check_error_mentions "check_patch base must be a string"
+    (obj [ ("op", str "check_patch"); ("source", str "x"); ("base", J.Int 3) ])
+    "\"base\" must be a string";
+  (* a null base is the establishing form, same as leaving it out *)
+  (match
+     Protocol.parse_request
+       (obj [ ("op", str "check_patch"); ("source", str "x"); ("base", J.Null) ])
+   with
+  | Ok { Protocol.req = Protocol.Check_patch { base = None; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "null base should parse as no base"
+  | Error e -> Alcotest.fail e);
+  (* check_patch needs the --incremental warm state *)
+  expect_error_code "check_patch without --incremental" "bad-request"
+    (Server.handle (Server.create ()) (patch_req src_ok));
+  let server = Server.create ~options:incr_options () in
+  (* an id the server has never answered for is rejected, not guessed at *)
+  expect_error_code "unknown base id" "unknown-base"
+    (Server.handle server (patch_req ~base:"deadbeef" src_ok));
+  (* a failed check is never registered, so it cannot serve as a base *)
+  let rf = Server.handle server (patch_req ~id:9 ~program:"broken.dml" src_parse_err) in
+  expect_ok "failed source still answers" rf;
+  Alcotest.(check bool) "failure documents carry valid=false" true
+    (J.member "valid" (check_of "rf" rf) = Some (J.Bool false));
+  expect_error_code "a failed source cannot serve as a base" "unknown-base"
+    (Server.handle server (patch_req ~base:(incr_source_id "rf" rf) src_ok));
+  (* inference is whole-program; the combination is refused *)
+  expect_error_code "infer override rejected" "bad-request"
+    (Server.handle server
+       (obj
+          [
+            ("op", str "check_patch");
+            ("source", str src_ok);
+            ("options", obj [ ("infer", J.Bool true) ]);
+          ]))
+
+(* check_patch racing identical in-flight checks through the dispatch
+   layer's memo-key coalescing.  The single worker is wedged on an injected
+   hang, so: the two identical plain checks provably coalesce on their memo
+   key (one computation, byte-identical responses, no memo flag on either),
+   while the check_patch for the same program/source is computed inline in
+   the parent and answers before the pool drains. *)
+let test_patch_coalescing () =
+  with_fault_env (fun () ->
+      let path = Filename.concat (Filename.get_temp_dir_name ()) "dml_test_patch.sock" in
+      let options = { pooled_options with Session.op_incremental = true } in
+      let pid = fork_pooled_server ~options ~path () in
+      let wedge = connect path in
+      let c1 = connect path in
+      let c2 = connect path in
+      let c3 = connect path in
+      let race_src = Dml_programs.Sources.bsearch in
+      let race_req id = check_req ~id "race.dml" race_src in
+      (* wedge the only worker, then put two identical checks in flight *)
+      Protocol.send wedge (check_req ~id:1 hang_name src_ok);
+      Unix.sleepf 0.1;
+      Protocol.send c1 (race_req 2);
+      Unix.sleepf 0.05;
+      Protocol.send c2 (race_req 3);
+      Unix.sleepf 0.05;
+      Protocol.send c3 (patch_req ~id:4 ~program:"race.dml" race_src);
+      (* the parent answers the patch inline while the pool is still wedged *)
+      let r3 = recv_ok "check_patch" c3 in
+      expect_ok "check_patch under load" r3;
+      Alcotest.(check bool) "cold establishing patch dirties every unit" true
+        (incr_int "r3" "units" r3 = incr_int "r3" "dirty" r3 && incr_int "r3" "units" r3 > 0);
+      let r1 = recv_ok "first racer" c1 in
+      let r2 = recv_ok "second racer" c2 in
+      expect_ok "first racer" r1;
+      expect_ok "second racer" r2;
+      (* coalesced, not memoized: the joined request carries no memo flag,
+         and both responses serialize the one computed document *)
+      Alcotest.(check bool) "racers are not memo hits" true
+        (J.member "memo" r1 = None && J.member "memo" r2 = None);
+      Alcotest.(check string) "coalesced racers share one document byte-for-byte"
+        (J.to_string (result_of "r1" r1))
+        (J.to_string (result_of "r2" r2));
+      (* the worker's full check and the parent's incremental check agree
+         (modulo scheduling and the per-process solver-cache figures) *)
+      let scrub_cmp v = J.scrub ~keys:(volatile @ [ "solver" ]) v in
+      Alcotest.(check string) "patch document matches the pooled full check"
+        (J.to_string (scrub_cmp (result_of "r1" r1)))
+        (J.to_string (scrub_cmp (check_of "r3" r3)));
+      (* the wedged request degrades to a structured timeout, as usual *)
+      expect_error_code "wedged request" "timeout" (recv_ok "wedge" wedge);
+      (* a repeat patch lands on the memo the racers populated *)
+      Protocol.send c3 (patch_req ~id:5 ~base:(incr_source_id "r3" r3) ~program:"race.dml" race_src);
+      let r4 = recv_ok "repeat patch" c3 in
+      Alcotest.(check bool) "repeat patch is a memo hit" true
+        (J.member "memo" r4 = Some (J.Bool true));
+      Alcotest.(check int) "repeat patch dirties nothing" 0 (incr_int "r4" "dirty" r4);
+      Alcotest.(check string) "repeat patch returns the racers' document verbatim"
+        (J.to_string (result_of "r1" r1))
+        (J.to_string (check_of "r4" r4));
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ c1; c2; wedge ];
+      shutdown_and_reap c3 pid)
+
+(* --- faulted pools: crash, hang, shedding ------------------------------------- *)
 
 let test_pool_faults () =
   with_fault_env (fun () ->
@@ -539,6 +717,12 @@ let () =
       ("frames", [ Alcotest.test_case "stdio loop" `Quick test_stdio_frames ]);
       ("warm", [ Alcotest.test_case "memo oracle" `Quick test_warm_oracle ]);
       ("socket", [ Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients ]);
+      ( "patch",
+        [
+          Alcotest.test_case "base, patch, revert" `Quick test_patch_roundtrip;
+          Alcotest.test_case "strict rejections" `Quick test_patch_rejections;
+          Alcotest.test_case "coalescing race" `Quick test_patch_coalescing;
+        ] );
       ( "faults",
         [
           Alcotest.test_case "crash, hang, recovery" `Quick test_pool_faults;
