@@ -1,4 +1,4 @@
-.PHONY: all check build test fuzz bench-json bench-load bench-gate bench-solver bench-incr clean
+.PHONY: all check build test fuzz bench-json bench-load bench-gate bench-solver bench-incr bench-native clean
 
 all: build
 
@@ -22,7 +22,7 @@ check: build
 # (schema dml-batch/1) and the Bechamel microbenchmarks (schema dml-bench/1).
 bench-json: build
 	dune exec bin/dmlc.exe -- batch --all --json > BENCH_batch.json
-	dune exec bench/main.exe -- --json BENCH_micro.json
+	dune exec bench/main.exe -- --out BENCH_micro.json
 
 # The dmld fault-injection load harness (schema dml-load/1): concurrent
 # clients against a pooled server with injected worker crashes and hangs.
@@ -40,14 +40,21 @@ bench-gate: bench-load
 # obligation solved on the bignum lane and on the machine-int lane, with the
 # native/bignum speedup recorded in the artifact.
 bench-solver: build
-	timeout 300 dune exec bench/solver.exe -- --json BENCH_solver.json
+	timeout 300 dune exec bench/solver.exe -- --out BENCH_solver.json
 
 # Incremental recheck latency by edit size (schema dml-bench/1): the Table 1
 # corpus as one editor buffer, re-checked after a 1-declaration, ~10% and
 # 100% edit; each row pairs the incremental figure with a cold full check
 # and asserts the reports are byte-identical first.
 bench-incr: build
-	timeout 300 dune exec bench/incr.exe -- --json BENCH_incr.json
+	timeout 300 dune exec bench/incr.exe -- --out BENCH_incr.json
+
+# Measured wall-clock Table 3 on compiled native binaries (schema
+# dml-bench/1): each kernel built twice by the codegen backend — all accesses
+# checked vs proven sites unsafe — and timed at paper scale.  Prints a
+# notice and exits 0 when the container has no OCaml compiler.
+bench-native: build
+	timeout 600 dune exec bench/native.exe -- --out BENCH_native.json
 
 clean:
 	dune clean

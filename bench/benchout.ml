@@ -1,0 +1,21 @@
+(* The shared artifact-path convention of the bench executables: every
+   harness takes [--out FILE] (with a per-harness default named after its
+   BENCH_*.json artifact) and writes its machine-readable document there.
+   [--json FILE] is kept as a legacy alias so existing scripts and CI
+   invocations keep working. *)
+
+let spec ?(what = "dml-bench/1") (out : string ref) =
+  let doc = Printf.sprintf "FILE  write the %s artifact here (default %s)" what !out in
+  [
+    ("--out", Arg.Set_string out, doc);
+    ("--json", Arg.Set_string out, doc ^ " (legacy alias)");
+  ]
+
+(* Write [doc] to [out], failing loudly: a bench run whose artifact cannot
+   be recorded must not look green in CI. *)
+let write ~bench out doc =
+  match Dml_obs.Json.write_file out doc with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s: cannot write %s: %s\n%!" bench out msg;
+      exit 1

@@ -152,12 +152,10 @@ let () =
   let json_file = ref "BENCH_incr.json" in
   let runs = ref 3 in
   Arg.parse
-    [
-      ("--json", Arg.Set_string json_file, "FILE  write results as dml-bench/1 JSON");
-      ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 3)");
-    ]
+    (Dml_gate.Benchout.spec json_file
+    @ [ ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 3)") ])
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "incr [--json FILE]: time incremental rechecks by edit size over the Table 1 corpus";
+    "incr [--out FILE]: time incremental rechecks by edit size over the Table 1 corpus";
   let runs = !runs in
   let ten_pct = max 1 ((List.length Pr.table_benchmarks + n_probes + 9) / 10) in
   let r1 = scenario ~runs ~name:"incr/recheck/1decl" ~dirty_decls:1 (buffer (bump 1)) in
@@ -167,6 +165,4 @@ let () =
   let r100 = cold_scenario ~runs ~name:"incr/recheck/100pct" in
   let rows = [ r1; r10; r100 ] in
   let doc = J.Obj [ ("schema", J.String "dml-bench/1"); ("rows", J.List rows) ] in
-  match J.write_file !json_file doc with
-  | Ok () -> ()
-  | Error msg -> die "cannot write %s: %s" !json_file msg
+  Dml_gate.Benchout.write ~bench:"bench-incr" !json_file doc

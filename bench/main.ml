@@ -22,6 +22,22 @@
 open Bechamel
 open Toolkit
 
+(* session constructors for the deleted optional-argument front doors *)
+let session () = Dml_core.Session.create ()
+
+let session_of_method method_ =
+  Dml_core.Session.create
+    ~options:
+      {
+        Dml_core.Session.default_options with
+        Dml_core.Session.op_solve =
+          {
+            Dml_core.Session.default_solve_config with
+            Dml_core.Session.sc_method = method_;
+          };
+      }
+    ()
+
 (* --- Table 1: the checking pipeline -------------------------------------- *)
 
 let pipeline_tests =
@@ -30,7 +46,7 @@ let pipeline_tests =
       Test.make
         ~name:("table1/" ^ b.Dml_programs.Programs.name)
         (Staged.stage (fun () ->
-             match Dml_core.Pipeline.check b.Dml_programs.Programs.source with
+             match Dml_core.Pipeline.check_s (session ()) b.Dml_programs.Programs.source with
              | Ok r -> assert r.Dml_core.Pipeline.rp_valid
              | Error _ -> assert false)))
     Dml_programs.Programs.table_benchmarks
@@ -48,7 +64,7 @@ let checked_programs =
     (fun (b : Dml_programs.Programs.benchmark) ->
       if not (List.mem b.Dml_programs.Programs.name bench_kernel_names) then None
       else
-        match Dml_core.Pipeline.check_valid b.Dml_programs.Programs.source with
+        match Dml_core.Pipeline.check_valid_s (session ()) b.Dml_programs.Programs.source with
         | Ok r -> Some (b, r.Dml_core.Pipeline.rp_tprog)
         | Error _ -> None)
     Dml_programs.Programs.table_benchmarks
@@ -65,17 +81,19 @@ let backend_tests =
                    let counters = Dml_eval.Prims.new_counters () in
                    let env = Dml_eval.Cycles.initial_env mode counters in
                    let env = Dml_eval.Cycles.run_program env tprog in
-                   b.Dml_programs.Programs.run
-                     { Dml_programs.Workloads.lookup = Dml_eval.Cycles.lookup env }
-                     ~scale:1));
+                   ignore
+                     (b.Dml_programs.Programs.run
+                        { Dml_programs.Workloads.lookup = Dml_eval.Cycles.lookup env }
+                        ~scale:1)));
             Test.make
               ~name:(Printf.sprintf "table3/%s/%s" b.Dml_programs.Programs.name mode_name)
               (Staged.stage (fun () ->
                    let ce = Dml_eval.Compile.initial_fast mode () in
                    let ce = Dml_eval.Compile.run_program ce tprog in
-                   b.Dml_programs.Programs.run
-                     { Dml_programs.Workloads.lookup = Dml_eval.Compile.lookup ce }
-                     ~scale:1));
+                   ignore
+                     (b.Dml_programs.Programs.run
+                        { Dml_programs.Workloads.lookup = Dml_eval.Compile.lookup ce }
+                        ~scale:1)));
           ])
         [ (Dml_eval.Prims.Checked, "checked"); (Dml_eval.Prims.Unchecked, "unchecked") ])
     checked_programs
@@ -131,7 +149,10 @@ let tighten_tests =
       Test.make
         ~name:("ablation/tighten/" ^ name)
         (Staged.stage (fun () ->
-             match Dml_core.Pipeline.check ~method_ Dml_programs.Sources.bcopy with
+             match
+               Dml_core.Pipeline.check_s (session_of_method method_)
+                 Dml_programs.Sources.bcopy
+             with
              | Ok r ->
                  (* with tightening every obligation is proven; without, the
                     divisibility obligations stay open (the solver also pays
@@ -155,7 +176,11 @@ let cache_corpus =
 let check_corpus cache =
   List.iter
     (fun (b : Dml_programs.Programs.benchmark) ->
-      match Dml_core.Pipeline.check ?cache b.Dml_programs.Programs.source with
+      match
+        Dml_core.Pipeline.check_s
+          (Dml_core.Session.create ?cache ())
+          b.Dml_programs.Programs.source
+      with
       | Ok r -> assert r.Dml_core.Pipeline.rp_valid
       | Error _ -> assert false)
     cache_corpus
@@ -193,7 +218,16 @@ let par_check mode shard =
       match r.Dml_par.Runner.row_result with
       | Ok s -> assert s.Dml_par.Runner.sm_valid
       | Error _ -> assert false)
-    (Dml_par.Runner.check_targets ~mode ~shard_obligations:shard par_targets)
+    (Dml_par.Runner.check_targets_s
+       {
+         Dml_core.Session.default_options with
+         Dml_core.Session.op_jobs =
+           (match mode with
+           | Dml_par.Runner.Sequential -> None
+           | Dml_par.Runner.Workers n -> Some n);
+         op_shard_obligations = shard;
+       }
+       par_targets)
 
 let par_tests =
   [
@@ -212,7 +246,7 @@ let par_tests =
 (* --- stdlib kernels: the verified merge/insertion sorts -------------------------- *)
 
 let stdlib_tests =
-  match Dml_core.Pipeline.check_valid Dml_programs.Stdlib_dml.source with
+  match Dml_core.Pipeline.check_valid_s (session ()) Dml_programs.Stdlib_dml.source with
   | Error _ -> []
   | Ok r ->
       let tprog = r.Dml_core.Pipeline.rp_tprog in
@@ -230,13 +264,14 @@ let stdlib_tests =
 (* --- driver --------------------------------------------------------------------- *)
 
 let () =
-  (* [--json FILE] also writes the rows as schema dml-bench/1, the machine
-     half of the BENCH_* artifacts (see `make bench-json`) *)
-  let json_file = ref None in
+  (* [--out FILE] also writes the rows as schema dml-bench/1, the machine
+     half of the BENCH_* artifacts (see `make bench-json`); the empty
+     default keeps the bare invocation human-readable only *)
+  let json_file = ref "" in
   Arg.parse
-    [ ("--json", Arg.String (fun f -> json_file := Some f), "FILE write results as JSON") ]
+    (Dml_gate.Benchout.spec json_file)
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--json FILE]";
+    "bench [--out FILE]";
   let tests =
     pipeline_tests @ solver_tests @ tighten_tests @ cache_tests @ par_tests
     @ backend_tests @ stdlib_tests
@@ -260,8 +295,8 @@ let () =
   Printf.printf "%-44s %16s\n" "benchmark" "ns/run";
   List.iter (fun (name, est) -> Printf.printf "%-44s %16.0f\n" name est) rows;
   match !json_file with
-  | None -> ()
-  | Some file -> (
+  | "" -> ()
+  | file ->
       let module J = Dml_obs.Json in
       let doc =
         J.Obj
@@ -275,6 +310,4 @@ let () =
                    rows) );
           ]
       in
-      match J.write_file file doc with
-      | Ok () -> ()
-      | Error msg -> prerr_endline ("bench: cannot write " ^ file ^ ": " ^ msg))
+      Dml_gate.Benchout.write ~bench:"bench" file doc

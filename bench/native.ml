@@ -1,0 +1,67 @@
+(* Native-backend benchmark harness (`make bench-native`, uploaded by CI as
+   BENCH_native.json): every Table 2/3 kernel compiled to a standalone
+   native binary twice — once with every array access checked, once with the
+   proven sites emitted as unsafe accesses — and the measured wall-clock
+   pair recorded as a dml-bench/1 row with the checked/unchecked speedup.
+
+   When the container has no OCaml compiler the harness prints a notice and
+   exits 0: the artifact is a measurement, not a correctness gate, and the
+   differential tests in test/test_codegen.ml carry the skip the same way. *)
+
+module J = Dml_obs.Json
+module Backend = Dml_eval.Backend
+module Tables = Dml_programs.Tables
+
+let () =
+  let out = ref "BENCH_native.json" in
+  let scale = ref 1 in
+  Arg.parse
+    (Dml_gate.Benchout.spec out
+    @ [ ("--scale", Arg.Set_int scale, "N  workload multiplier (default 1, paper scale)") ])
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "native [--out FILE] [--scale N]: wall-clock Table 3 rows on compiled native binaries";
+  (match Backend.native.Backend.b_available () with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.printf "bench-native: skipped: %s\n%!" msg;
+      exit 0);
+  let rows = Tables.table23 Backend.native ~scale:!scale in
+  let failed = ref 0 in
+  let json_rows =
+    List.map2
+      (fun (b : Dml_programs.Programs.benchmark) row ->
+        let name = "native/" ^ b.Dml_programs.Programs.name in
+        match row with
+        | Error msg ->
+            incr failed;
+            Printf.printf "%-28s error: %s\n%!" name msg;
+            J.Obj [ ("name", J.String name); ("error", J.String msg) ]
+        | Ok (r : Tables.t23_row) ->
+            let speedup =
+              if r.Tables.t23_unchecked_s > 0. then
+                r.Tables.t23_checked_s /. r.Tables.t23_unchecked_s
+              else Float.nan
+            in
+            Printf.printf "%-28s checked %10.6fs  unchecked %10.6fs  speedup %5.2fx\n%!"
+              name r.Tables.t23_checked_s r.Tables.t23_unchecked_s speedup;
+            J.Obj
+              [
+                ("name", J.String name);
+                ("checked_s", J.Float r.Tables.t23_checked_s);
+                ("unchecked_s", J.Float r.Tables.t23_unchecked_s);
+                ("speedup", J.Float speedup);
+                ("eliminated", J.Int r.Tables.t23_eliminated);
+                ("residual", J.Int r.Tables.t23_residual);
+              ])
+      Dml_programs.Programs.table_benchmarks rows
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "dml-bench/1");
+        ("scale", J.Int !scale);
+        ("rows", J.List json_rows);
+      ]
+  in
+  Dml_gate.Benchout.write ~bench:"bench-native" !out doc;
+  if !failed > 0 then exit 1

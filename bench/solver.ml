@@ -54,13 +54,13 @@ let () =
   let json_file = ref "BENCH_solver.json" in
   let warmups = ref 2 and runs = ref 5 in
   Arg.parse
-    [
-      ("--json", Arg.Set_string json_file, "FILE  write results as dml-bench/1 JSON");
-      ("--warmups", Arg.Set_int warmups, "N  untimed warmup passes (default 2)");
-      ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 5)");
-    ]
+    (Dml_gate.Benchout.spec json_file
+    @ [
+        ("--warmups", Arg.Set_int warmups, "N  untimed warmup passes (default 2)");
+        ("--runs", Arg.Set_int runs, "N  timed passes, best-of (default 5)");
+      ])
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "solver [--json FILE]: time the Table 1 obligations on both solver lanes";
+    "solver [--out FILE]: time the Table 1 obligations on both solver lanes";
   let cs = corpus () in
   Printf.printf "bench-solver: %d obligations from %d programs\n%!" (List.length cs)
     (List.length Dml_programs.Programs.table_benchmarks);
@@ -91,8 +91,4 @@ let () =
             ] );
       ]
   in
-  match J.write_file !json_file doc with
-  | Ok () -> ()
-  | Error msg ->
-      prerr_endline ("bench-solver: cannot write " ^ !json_file ^ ": " ^ msg);
-      exit 2
+  Dml_gate.Benchout.write ~bench:"bench-solver" !json_file doc

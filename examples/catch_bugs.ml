@@ -73,7 +73,7 @@ let () =
   List.iter
     (fun (what, src) ->
       Format.printf "== %s ==@." what;
-      match Pipeline.check src with
+      match Pipeline.check_s (Session.create ()) src with
       | Error f -> Format.printf "  rejected before solving: %s@.@." (Pipeline.failure_to_string f)
       | Ok report ->
           if report.Pipeline.rp_valid then Format.printf "  UNEXPECTEDLY ACCEPTED@.@."

@@ -13,7 +13,7 @@ open Dml_eval
 
 let () =
   let report =
-    match Pipeline.check_valid Dml_programs.Sources.kmp with
+    match Pipeline.check_valid_s (Session.create ()) Dml_programs.Sources.kmp with
     | Ok r -> r
     | Error msg -> failwith msg
   in

@@ -1,7 +1,7 @@
 (* Quickstart: check and run the paper's Figure 1 (dot product).
 
    The public API in four steps:
-   1. [Pipeline.check]     - parse, ML-infer, elaborate, solve constraints
+   1. [Pipeline.check_s]   - parse, ML-infer, elaborate, solve constraints
    2. inspect obligations  - each constraint with its location and verdict
    3. build an evaluator   - checked or unchecked primitives
    4. call the program     - through ordinary OCaml values
@@ -27,7 +27,7 @@ where dotprod <| {p:nat} {q:nat | p <= q} int array(p) * int array(q) -> int
 let () =
   (* 1. the full checking pipeline *)
   let report =
-    match Pipeline.check source with
+    match Pipeline.check_s (Session.create ()) source with
     | Ok r -> r
     | Error f -> failwith (Pipeline.failure_to_string f)
   in

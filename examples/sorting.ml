@@ -8,7 +8,7 @@ open Dml_core
 open Dml_eval
 
 let build source =
-  match Pipeline.check_valid source with
+  match Pipeline.check_valid_s (Session.create ()) source with
   | Ok r -> r.Pipeline.rp_tprog
   | Error msg -> failwith msg
 

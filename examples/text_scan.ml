@@ -43,7 +43,9 @@ where headOr <| string * char -> char
 
 let () =
   let report =
-    match Pipeline.check_valid source with Ok r -> r | Error msg -> failwith msg
+    match Pipeline.check_valid_s (Session.create ()) source with
+    | Ok r -> r
+    | Error msg -> failwith msg
   in
   Format.printf "text scanner checks: %d constraints, all proven.@."
     report.Pipeline.rp_constraints;

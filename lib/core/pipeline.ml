@@ -305,27 +305,6 @@ let check_valid_s session src =
              (String.concat "\n" msgs))
       end
 
-(* ------------------------------------------------------------------ *)
-(* Deprecated optional-argument wrappers (pre-Session API)             *)
-(* ------------------------------------------------------------------ *)
-
-let session_of ?cache config =
-  Session.create ?cache
-    ~options:{ Session.default_options with Session.op_solve = config }
-    ()
-
-let check ?(method_ = Solver.Fm_tightened) ?config ?cache src =
-  let config =
-    match config with Some c -> c | None -> { default_config with sc_method = method_ }
-  in
-  check_s (session_of ?cache config) src
-
-let check_valid ?(config = default_config) ?cache src =
-  check_valid_s (session_of ?cache config) src
-
-let solve_obligation ?(config = default_config) ?stats ?cache ob =
-  solve_obligation_raw ~config ?stats ?cache ob
-
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>constraints: %d (%s)@ generation: %.4fs, solving: %.4fs@ annotations: %d on %d \

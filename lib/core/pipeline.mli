@@ -10,7 +10,7 @@
     pathological constraint times out or faults alone — its verdict becomes
     [Timeout]/[Unsupported] — while every other obligation is still decided.
     A report with residual (unproven) obligations supports two consumptions:
-    strict mode rejects the program ({!check_valid}); degraded mode compiles
+    strict mode rejects the program ({!check_valid_s}); degraded mode compiles
     it with dynamic checks at exactly the residual sites
     ({!degraded_sites}/{!degraded_pred}, consumed by [Dml_eval.Compile] and
     [Dml_eval.Cycles]). *)
@@ -76,7 +76,7 @@ type report = {
 
 (** {1 The staged pipeline}
 
-    {!check} is the one-call front door; the three stages below are exposed
+    {!check_s} is the one-call front door; the three stages below are exposed
     so the parallel executor ({!Dml_par.Runner}) can run the front end in
     the parent process, ship individual obligations to worker processes
     (obligations are plain data and survive [Marshal]), and reassemble the
@@ -97,7 +97,7 @@ type frontend = {
 
 val frontend : string -> (frontend, failure) result
 (** Parse, ML inference, dependent elaboration — everything before solving.
-    Never raises (same failure conversion as {!check}). *)
+    Never raises (same failure conversion as {!check_s}). *)
 
 val frontend_ast :
   src:string -> spans:(int * int) list -> Ast.program -> (frontend, failure) result
@@ -158,35 +158,6 @@ val check_valid_s : Session.t -> string -> (report, string) result
 (** Strict consumption: like {!check_s} but also turns unproven obligations
     (including timeouts) into an error message listing the failing
     constraints. *)
-
-(** {1 Deprecated optional-argument front doors}
-
-    Thin wrappers kept so pre-Session callers (examples, tests) compile
-    unchanged; each builds an ephemeral single-use {!Session.t}.  New code
-    — and everything under [lib/]/[bin/], enforced by CI — uses the
-    session API above. *)
-
-val check :
-  ?method_:Solver.method_ ->
-  ?config:solve_config ->
-  ?cache:Dml_cache.Cache.t ->
-  string ->
-  (report, failure) result
-(** @deprecated Use {!check_s} with a {!Session.t}.  [?method_] is a
-    shorthand for [{ default_config with sc_method }]; [?config] takes
-    precedence over it. *)
-
-val check_valid :
-  ?config:solve_config -> ?cache:Dml_cache.Cache.t -> string -> (report, string) result
-(** @deprecated Use {!check_valid_s} with a {!Session.t}. *)
-
-val solve_obligation :
-  ?config:solve_config ->
-  ?stats:Solver.stats ->
-  ?cache:Dml_cache.Cache.t ->
-  Elab.obligation ->
-  checked_obligation
-(** @deprecated Use {!solve_obligation_s} with a {!Session.t}. *)
 
 val unproven : report -> checked_obligation list
 (** Obligations whose verdict is not [Valid], in generation order. *)

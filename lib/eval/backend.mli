@@ -1,0 +1,82 @@
+(** First-class evaluation backends — the three platforms of the Tables 2/3
+    experiment behind one interface.
+
+    A backend is a record: identity (key/aliases for the CLI), presentation
+    (display name, time unit, which paper table and column it stands in
+    for), availability (the native backend degrades to an [Error] verdict
+    when no OCaml toolchain is installed), and one measurement function
+    that runs a benchmark request under both primitive disciplines and
+    reports the paired timings plus eliminated/residual check counts.
+
+    All backends are registered here, in one place, at module
+    initialization; [Tables], [dmlc table23] and [bench-native] consume the
+    registry uniformly instead of switching on a variant. *)
+
+type exec = { lookup : string -> Value.t }
+(** A running program: entry points by name.  [Dml_programs.Workloads.exec]
+    is an alias of this type. *)
+
+type request = {
+  rq_name : string;  (** benchmark name, for error messages *)
+  rq_tprog : Dml_mltype.Tast.tprogram;  (** elaborated program, basis included *)
+  rq_degraded : (Dml_lang.Loc.t -> bool) option;
+      (** unproven sites that must keep their dynamic check
+          ({!Dml_core.Pipeline.degraded_pred}); [None] when fully proven *)
+  rq_scale : int;  (** workload multiplier *)
+  rq_run : exec -> scale:int -> string;
+      (** the workload driver; returns its deterministic summary line *)
+  rq_native_driver : string option;
+      (** OCaml driver fragment defining [dml_run : int -> string] against
+          the mangled program — required by the native backend only *)
+}
+
+type measurement = {
+  ms_checked : float;  (** run time with bound checks (backend's unit) *)
+  ms_unchecked : float;  (** run time without *)
+  ms_eliminated : int;  (** checks eliminated in the unchecked run *)
+  ms_residual : int;  (** checks still executed in the unchecked run *)
+}
+
+type paper_column = Alpha  (** Table 2, SML/NJ on DEC Alpha *) | Sparc  (** Table 3, MLWorks on SPARC *)
+
+type t = {
+  b_key : string;  (** canonical CLI name *)
+  b_aliases : string list;  (** accepted CLI synonyms *)
+  b_name : string;  (** display line in the table header *)
+  b_unit : string;  (** time-column unit, e.g. ["Mcyc"] or ["s"] *)
+  b_table : string;  (** which paper table it regenerates, ["2"] or ["3"] *)
+  b_paper : paper_column;
+  b_available : unit -> (unit, string) result;
+      (** probe; [Error] is the graceful "Unavailable" verdict *)
+  b_measure : request -> (measurement, string) result;
+}
+
+val register : t -> unit
+(** Add a backend to the registry (last registration of a key wins on
+    {!find}; {!all} preserves registration order). *)
+
+val find : string -> t option
+(** Look up by key or alias. *)
+
+val all : unit -> t list
+
+val time_pair : (unit -> unit) -> (unit -> unit) -> float * float
+(** Interleaved paired measurement on the monotonic wall clock
+    ({!Dml_obs.Clock.now}): each side takes its best of five alternated
+    rounds, [Gc.full_major] before each, so slow drift of the machine
+    state cannot bias one side.  Exposed for the timing regression tests
+    (and re-exported by [Dml_programs.Tables]). *)
+
+val cost_model : t
+(** Platform A (["cost-model"], alias ["cycles"]): the virtual-cycle
+    accounting VM ({!Cycles}); "times" are virtual megacycles. *)
+
+val compiled : t
+(** Platform B (["compiled"], alias ["closure"]): the closure compiler
+    ({!Compile}), wall-clock seconds. *)
+
+val native : t
+(** Platform C (["native"]): {!Codegen} — emit OCaml source with proven
+    sites as [Array.unsafe_get]/[unsafe_set], compile with the installed
+    toolchain, time the binaries.  Requires {!request.rq_native_driver};
+    unavailable (with a reason) when no toolchain is on PATH. *)

@@ -222,17 +222,6 @@ let run ~mode ~shard_obligations ?task_timeout_ms (options : Session.options) ta
       if shard_obligations then run_obligation_sharded ~jobs ?task_timeout_ms options targets
       else run_program_sharded ~jobs ?task_timeout_ms options targets
 
-let check_targets ?(mode = Sequential) ?(shard_obligations = false) ?task_timeout_ms
-    ?config ?cache targets =
-  let options =
-    {
-      Session.default_options with
-      Session.op_solve = Option.value config ~default:Pipeline.default_config;
-      op_cache = cache;
-    }
-  in
-  run ~mode ~shard_obligations ?task_timeout_ms options targets
-
 let check_targets_s ?task_timeout_ms (options : Session.options) targets =
   (* Obligation sharding solves goals against a front end built once in the
      parent; inference rewrites the AST and re-runs the front end every

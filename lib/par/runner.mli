@@ -22,7 +22,7 @@
     one [Timeout "worker deadline"] — exactly an unproven site, never a lost
     batch.
 
-    Determinism: {!check_targets} returns rows in input order whatever the
+    Determinism: {!check_targets_s} returns rows in input order whatever the
     scheduling, and {!rows_json}/{!batch_json} serialize only
     schedule-independent fields (verdict counts, not wall-clock times or
     cache hit rates), so the [dml-batch/1] document is byte-identical across
@@ -90,17 +90,6 @@ val check_targets_s :
     every round, so it is incompatible with the obligation grain:
     [op_infer && op_shard_obligations] degrades to program sharding with the
     pool kept (one worker per core when [op_jobs] was unset). *)
-
-val check_targets :
-  ?mode:mode ->
-  ?shard_obligations:bool ->
-  ?task_timeout_ms:int ->
-  ?config:Dml_core.Pipeline.solve_config ->
-  ?cache:Dml_cache.Cache.config ->
-  target list ->
-  row list
-(** @deprecated Use {!check_targets_s} with {!Dml_core.Session.options}.
-    [mode] defaults to [Sequential]. *)
 
 val rows_json : row list -> Dml_obs.Json.t list
 (** Deterministic per-program rows:

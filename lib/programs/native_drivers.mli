@@ -1,0 +1,11 @@
+(** OCaml driver fragments for the native backend ({!Dml_eval.Backend.native}).
+
+    [find name] is the driver for the benchmark of that name ({!Programs}'s
+    registry names), or [None] for programs without one.  A driver defines
+    [dml_run : int -> string] against the generated program's mangled entry
+    points and computes, with plain OCaml arithmetic, the exact summary line
+    the corresponding {!Workloads} driver returns — that byte-equality is
+    asserted by the differential tests and cross-checked between the
+    checked/unchecked native builds on every measurement. *)
+
+val find : string -> string option

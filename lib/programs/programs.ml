@@ -18,7 +18,7 @@ type benchmark = {
   workload_note : string;  (* paper workload -> ours *)
   source : string;
   in_tables : bool;  (* appears in the paper's Tables 1-3 *)
-  run : Workloads.exec -> scale:int -> unit;
+  run : Workloads.exec -> scale:int -> string;
   paper_alpha : paper_row;  (* Table 2: DEC Alpha / SML-NJ *)
   paper_sparc : paper_row;  (* Table 3: Sun SPARC / MLWorks *)
 }

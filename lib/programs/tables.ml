@@ -1,12 +1,6 @@
 open Dml_core
 open Dml_eval
 
-type backend = Cost_model | Compiled
-
-let backend_name = function
-  | Cost_model -> "cost-model VM, virtual Mcycles (platform A, cf. Table 2 SML/NJ on Alpha)"
-  | Compiled -> "compiled closures, wall seconds (platform B, cf. Table 3 MLWorks on SPARC)"
-
 (* --- Table 1 -------------------------------------------------------------- *)
 
 type t1_row = {
@@ -87,94 +81,55 @@ type t23_row = {
   t23_residual : int;
 }
 
-let exec_compiled mode ?counters ?degraded tprog : Workloads.exec =
-  let ce = Compile.initial_fast mode ?counters ?degraded () in
-  let ce = Compile.run_program ce tprog in
-  { Workloads.lookup = Compile.lookup ce }
+(* re-exported for the timing regression tests *)
+let time_pair = Backend.time_pair
 
-let exec_cost_model ?degraded mode counters tprog : Workloads.exec =
-  let env = Cycles.initial_env ?degraded mode counters in
-  let env = Cycles.run_program env tprog in
-  { Workloads.lookup = Cycles.lookup env }
-
-(* Interleaved paired measurement: the two disciplines are timed
-   alternately and each takes its best of five rounds, so slow drift of the
-   machine state cannot bias one side.  Timed with [Budget.now] — the same
-   monotonic wall clock as the pipeline's gen/solve times — not [Sys.time],
-   whose CPU seconds are not comparable to the rest of the system's
-   timings. *)
-let time_pair f g =
-  let once h =
-    Gc.full_major ();
-    let t0 = Dml_solver.Budget.now () in
-    h ();
-    Dml_solver.Budget.now () -. t0
-  in
-  let best_f = ref infinity and best_g = ref infinity in
-  for _ = 1 to 5 do
-    best_f := Stdlib.min !best_f (once f);
-    best_g := Stdlib.min !best_g (once g)
-  done;
-  (!best_f, !best_g)
-
-let run_benchmark backend ~scale (b : Programs.benchmark) =
-  match check_cold b.Programs.source with
-  | Error f -> Error (Pipeline.failure_to_string f)
-  | Ok report -> (
-      let tprog = report.Pipeline.rp_tprog in
-      (* Partial credit: any unproven obligation degrades its own site to a
-         checked access instead of disqualifying the whole benchmark, and the
-         residual column counts the checks that survive. *)
-      let degraded =
-        if report.Pipeline.rp_valid then None else Some (Pipeline.degraded_pred report)
-      in
-      try
-        let checked_s, unchecked_s, eliminated, residual =
-          match backend with
-          | Compiled ->
-              (* timed runs without instrumentation, then a counting run *)
-              let ex_checked = exec_compiled Prims.Checked tprog in
-              let ex_unchecked = exec_compiled Prims.Unchecked ?degraded tprog in
-              let checked_s, unchecked_s =
-                time_pair
-                  (fun () -> b.Programs.run ex_checked ~scale)
-                  (fun () -> b.Programs.run ex_unchecked ~scale)
-              in
-              let counters = Prims.new_counters () in
-              let ex = exec_compiled Prims.Unchecked ~counters ?degraded tprog in
-              b.Programs.run ex ~scale;
-              (checked_s, unchecked_s, counters.Prims.eliminated_checks,
-               counters.Prims.dynamic_checks)
-          | Cost_model ->
-              (* account virtual cycles under both disciplines *)
-              let cycles ?degraded mode =
-                let counters = Prims.new_counters () in
-                let ex = exec_cost_model ?degraded mode counters tprog in
-                b.Programs.run ex ~scale;
-                counters
-              in
-              let checked = cycles Prims.Checked in
-              let unchecked = cycles ?degraded Prims.Unchecked in
-              ( float_of_int checked.Prims.cycles /. 1e6,
-                float_of_int unchecked.Prims.cycles /. 1e6,
-                unchecked.Prims.eliminated_checks,
-                unchecked.Prims.dynamic_checks )
-        in
-        let gain =
-          if checked_s > 0. then (checked_s -. unchecked_s) /. checked_s *. 100. else 0.
-        in
-        Ok
-          {
-            t23_name = b.Programs.name;
-            t23_checked_s = checked_s;
-            t23_unchecked_s = unchecked_s;
-            t23_gain_pct = gain;
-            t23_eliminated = eliminated;
-            t23_residual = residual;
-          }
-      with
-      | Workloads.Verification_failure msg -> Error msg
-      | Prims.Subscript -> Error (b.Programs.name ^ ": runtime Subscript"))
+let run_benchmark (backend : Backend.t) ~scale (b : Programs.benchmark) =
+  match backend.Backend.b_available () with
+  | Error msg -> Error (b.Programs.name ^ ": backend unavailable: " ^ msg)
+  | Ok () -> (
+      match check_cold b.Programs.source with
+      | Error f -> Error (Pipeline.failure_to_string f)
+      | Ok report -> (
+          let tprog = report.Pipeline.rp_tprog in
+          (* Partial credit: any unproven obligation degrades its own site to a
+             checked access instead of disqualifying the whole benchmark, and the
+             residual column counts the checks that survive. *)
+          let degraded =
+            if report.Pipeline.rp_valid then None else Some (Pipeline.degraded_pred report)
+          in
+          let rq =
+            {
+              Backend.rq_name = b.Programs.name;
+              rq_tprog = tprog;
+              rq_degraded = degraded;
+              rq_scale = scale;
+              rq_run = b.Programs.run;
+              rq_native_driver = Native_drivers.find b.Programs.name;
+            }
+          in
+          try
+            match backend.Backend.b_measure rq with
+            | Error msg -> Error msg
+            | Ok m ->
+                let checked_s = m.Backend.ms_checked in
+                let unchecked_s = m.Backend.ms_unchecked in
+                let gain =
+                  if checked_s > 0. then (checked_s -. unchecked_s) /. checked_s *. 100.
+                  else 0.
+                in
+                Ok
+                  {
+                    t23_name = b.Programs.name;
+                    t23_checked_s = checked_s;
+                    t23_unchecked_s = unchecked_s;
+                    t23_gain_pct = gain;
+                    t23_eliminated = m.Backend.ms_eliminated;
+                    t23_residual = m.Backend.ms_residual;
+                  }
+          with
+          | Workloads.Verification_failure msg -> Error msg
+          | Prims.Subscript -> Error (b.Programs.name ^ ": runtime Subscript")))
 
 let table23 backend ~scale =
   List.map (run_benchmark backend ~scale) Programs.table_benchmarks
@@ -211,11 +166,11 @@ let print_table1_rows fmt rows =
 
 let print_table1 fmt () = print_table1_rows fmt (table1 ())
 
-let print_table23_rows fmt backend ~scale rows =
+let print_table23_rows fmt (backend : Backend.t) ~scale rows =
   Format.fprintf fmt "Table %s: effect of eliminating array bound checks@."
-    (match backend with Cost_model -> "2" | Compiled -> "3");
-  Format.fprintf fmt "backend: %s, scale: %d@." (backend_name backend) scale;
-  let unit = match backend with Cost_model -> "Mcyc" | Compiled -> "s" in
+    backend.Backend.b_table;
+  Format.fprintf fmt "backend: %s, scale: %d@." backend.Backend.b_name scale;
+  let unit = backend.Backend.b_unit in
   Format.fprintf fmt "%-14s %12s %12s %7s %12s %10s@." "program" ("with(" ^ unit ^ ")")
     ("without(" ^ unit ^ ")") "gain" "eliminated" "residual";
   List.iter2
@@ -224,9 +179,9 @@ let print_table23_rows fmt backend ~scale rows =
       | Error msg -> Format.fprintf fmt "%-14s ERROR: %s@." b.Programs.name msg
       | Ok r ->
           let paper =
-            match backend with
-            | Cost_model -> b.Programs.paper_alpha
-            | Compiled -> b.Programs.paper_sparc
+            match backend.Backend.b_paper with
+            | Backend.Alpha -> b.Programs.paper_alpha
+            | Backend.Sparc -> b.Programs.paper_sparc
           in
           let paper_gain =
             match paper.Programs.pr_gain with Some g -> " (paper: " ^ g ^ ")" | None -> ""

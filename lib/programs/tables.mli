@@ -2,18 +2,10 @@
 
     Table 1: constraint generation/solving statistics and annotation counts
     per program.  Tables 2 and 3: run time with and without array bound
-    checks on the two evaluation backends, plus the number of dynamically
-    eliminated checks. *)
+    checks on any registered evaluation backend ({!Dml_eval.Backend}), plus
+    the number of dynamically eliminated checks. *)
 
 open Dml_solver
-
-type backend =
-  | Cost_model
-      (** Table 2 stand-in: virtual-cycle accounting VM ({!Dml_eval.Cycles});
-          "time" columns are virtual megacycles *)
-  | Compiled  (** Table 3 stand-in: compiled closures, wall-clock seconds *)
-
-val backend_name : backend -> string
 
 type t1_row = {
   t1_name : string;
@@ -39,7 +31,7 @@ val table1 : ?infer:bool -> unit -> (t1_row, string) result list
 
 type t23_row = {
   t23_name : string;
-  t23_checked_s : float;  (** run time with bound checks (Mcycles for {!Cost_model}) *)
+  t23_checked_s : float;  (** run time with bound checks (backend's unit) *)
   t23_unchecked_s : float;  (** run time without *)
   t23_gain_pct : float;
   t23_eliminated : int;  (** dynamic checks eliminated in the unchecked run *)
@@ -47,24 +39,27 @@ type t23_row = {
 }
 
 val time_pair : (unit -> unit) -> (unit -> unit) -> float * float
-(** Interleaved paired measurement on the monotonic wall clock
-    ({!Dml_solver.Budget.now}): each side takes its best of five alternated
-    rounds.  Exposed for the timing regression tests. *)
+(** {!Dml_eval.Backend.time_pair}, re-exported for the timing regression
+    tests: interleaved paired measurement on the monotonic wall clock,
+    each side's best of five alternated rounds. *)
 
 val run_benchmark :
-  backend -> scale:int -> Programs.benchmark -> (t23_row, string) result
-(** Type checks, evaluates under both primitive modes (timed, then again with
-    counters), verifies results, and reports the row. *)
+  Dml_eval.Backend.t -> scale:int -> Programs.benchmark -> (t23_row, string) result
+(** Type checks, degrades any unproven site to a checked access
+    ({!Dml_core.Pipeline.degraded_pred}), hands the benchmark to the
+    backend's measurement function, and reports the row.  An unavailable
+    backend (e.g. {!Dml_eval.Backend.native} with no toolchain) yields an
+    [Error] naming the reason. *)
 
-val table23 : backend -> scale:int -> (t23_row, string) result list
+val table23 : Dml_eval.Backend.t -> scale:int -> (t23_row, string) result list
 
 val print_table1 : Format.formatter -> unit -> unit
-val print_table23 : Format.formatter -> backend -> scale:int -> unit
+val print_table23 : Format.formatter -> Dml_eval.Backend.t -> scale:int -> unit
 
 val print_table1_rows : Format.formatter -> (t1_row, string) result list -> unit
 (** {!print_table1} on precomputed rows — the parallel [table1 -j] path
     computes rows in worker processes and prints them here. *)
 
 val print_table23_rows :
-  Format.formatter -> backend -> scale:int -> (t23_row, string) result list -> unit
+  Format.formatter -> Dml_eval.Backend.t -> scale:int -> (t23_row, string) result list -> unit
 (** Rows must align with {!Programs.table_benchmarks} (same order/length). *)

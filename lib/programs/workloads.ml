@@ -1,16 +1,19 @@
 (* Workload drivers for the Section 4 experiments.
 
    Each driver builds deterministic pseudo-random inputs, runs the benchmark
-   program's entry point through a backend-agnostic executor, and verifies
-   the result against an OCaml reference implementation.  Workload sizes are
-   scaled-down versions of the paper's (our substrate is an interpreter, not
-   a 1998 native compiler); the [scale] knob multiplies the iteration
-   counts. *)
+   program's entry point through a backend-agnostic executor, verifies the
+   result against an OCaml reference implementation, and returns a
+   deterministic one-line summary of what it computed.  The native backend's
+   driver snippets ([Native_drivers]) compute the same summaries with plain
+   OCaml arithmetic, so a generated binary's output can be compared against
+   any host backend's byte-for-byte.  Workload sizes are scaled-down
+   versions of the paper's (our substrate is an interpreter, not a 1998
+   native compiler); the [scale] knob multiplies the iteration counts. *)
 
 open Dml_eval
 open Value
 
-type exec = { lookup : string -> Value.t }
+type exec = Backend.exec = { lookup : string -> Value.t }
 
 let call = as_fun
 let call2 f a b = as_fun (as_fun f a) b
@@ -30,6 +33,10 @@ let check_eq name expected got =
   if not (Value.equal expected got) then
     fail "%s: expected %s, got %s" name (Value.to_string expected) (Value.to_string got)
 
+(* summary hash over an int list — [Native_drivers] computes the same fold *)
+let hash_int_list l = List.fold_left (fun h x -> ((h * 31) + x) mod 1000000007) 7 l
+let sum_int_array a = Array.fold_left ( + ) 0 a
+
 (* --- individual drivers ---------------------------------------------------- *)
 
 (* paper: copy 1M bytes 10 times; ours: 64k ints, [4*scale] passes *)
@@ -43,7 +50,8 @@ let run_bcopy ex ~scale =
   for _ = 1 to 4 * scale do
     ignore (call bcopy (Vtuple [ vsrc; vdst ]))
   done;
-  check_eq "bcopy" vsrc vdst
+  check_eq "bcopy" vsrc vdst;
+  Printf.sprintf "bcopy sum=%d" (sum_int_array (to_int_array vdst))
 
 (* paper: 2^20 lookups in a 2^20 array; ours: 16384*scale lookups in 4096 *)
 let run_bsearch ex ~scale =
@@ -52,20 +60,27 @@ let run_bsearch ex ~scale =
   let sorted = Array.init n (fun i -> 3 * i) in
   let varr = of_int_array sorted in
   let bsearch = ex.lookup "bsearchInt" in
+  let hits = ref 0 and misses = ref 0 and acc = ref 0 in
   for _ = 1 to 16384 * scale do
     let key = rng (3 * n) in
     let result = call bsearch (Vtuple [ Vint key; varr ]) in
     match result with
     | Vcon ("SOME", Some (Vtuple [ Vint i; Vint x ])) ->
-        if sorted.(i) <> x || x <> key then fail "bsearch: wrong hit %d at %d" x i
-    | Vcon ("NONE", None) -> if key mod 3 = 0 then fail "bsearch: missed %d" key
+        if sorted.(i) <> x || x <> key then fail "bsearch: wrong hit %d at %d" x i;
+        incr hits;
+        acc := !acc + i + x
+    | Vcon ("NONE", None) ->
+        if key mod 3 = 0 then fail "bsearch: missed %d" key;
+        incr misses
     | v -> fail "bsearch: unexpected result %s" (Value.to_string v)
-  done
+  done;
+  Printf.sprintf "bsearch hits=%d misses=%d acc=%d" !hits !misses !acc
 
 (* paper: bubble sort of 2^13 elements; ours: 512 elements, [scale] rounds *)
 let run_bubblesort ex ~scale =
   let n = 512 in
   let bsort = ex.lookup "bsort" in
+  let acc = ref 0 in
   for round = 1 to scale do
     let rng = make_rng (913 + round) in
     let data = Array.init n (fun _ -> rng 100000) in
@@ -73,8 +88,11 @@ let run_bubblesort ex ~scale =
     ignore (call bsort varr);
     let reference = Array.copy data in
     Array.sort compare reference;
-    check_eq "bubble sort" (of_int_array reference) varr
-  done
+    check_eq "bubble sort" (of_int_array reference) varr;
+    let s = to_int_array varr in
+    acc := !acc + s.(0) + s.(n / 2) + s.(n - 1)
+  done;
+  Printf.sprintf "bsort acc=%d" !acc
 
 (* paper: 256x256 matrices; ours: 48x48, [scale] products *)
 let run_matmult ex ~scale =
@@ -98,19 +116,28 @@ let run_matmult ex ~scale =
             done;
             !acc))
   in
-  check_eq "matmult" (matrix reference) vc
+  check_eq "matmult" (matrix reference) vc;
+  let sum =
+    Array.fold_left (fun t row -> t + sum_int_array (to_int_array row)) 0 (as_array vc)
+  in
+  Printf.sprintf "matmult sum=%d" sum
 
 (* paper: 12x12 board; ours: 8x8 ([scale] repetitions): 92 solutions *)
 let run_queens ex ~scale =
   let queens = ex.lookup "queens" in
+  let total = ref 0 in
   for _ = 1 to scale do
-    check_eq "queens 8x8" (Vint 92) (call queens (Vint 8))
-  done
+    let r = call queens (Vint 8) in
+    check_eq "queens 8x8" (Vint 92) r;
+    total := !total + as_int r
+  done;
+  Printf.sprintf "queens total=%d" !total
 
 (* paper: 2^2x-element arrays from the SML/NJ library sort; ours: 20000 *)
 let run_quicksort ex ~scale =
   let n = 20000 in
   let qsort = ex.lookup "qsort" in
+  let acc = ref 0 in
   for round = 1 to scale do
     let rng = make_rng (5 + round) in
     let data = Array.init n (fun _ -> rng 1000000) in
@@ -118,19 +145,26 @@ let run_quicksort ex ~scale =
     ignore (call qsort varr);
     let reference = Array.copy data in
     Array.sort compare reference;
-    check_eq "quick sort" (of_int_array reference) varr
-  done
+    check_eq "quick sort" (of_int_array reference) varr;
+    let s = to_int_array varr in
+    acc := !acc + s.(0) + s.(n / 2) + s.(n - 1)
+  done;
+  Printf.sprintf "qsort acc=%d" !acc
 
 (* paper: 24 disks; ours: 16 disks = 65535 moves, [scale] repetitions *)
 let run_hanoi ex ~scale =
   let hanoi = ex.lookup "hanoi" in
   let trace = of_int_array (Array.make 1024 0) in
+  let count = ref 0 in
   for _ = 1 to scale do
     let heights = of_int_array [| 16; 0; 0 |] in
-    check_eq "hanoi 16" (Vint 65535) (call hanoi (Vtuple [ trace; heights; Vint 16 ]));
+    let r = call hanoi (Vtuple [ trace; heights; Vint 16 ]) in
+    check_eq "hanoi 16" (Vint 65535) r;
+    count := as_int r;
     (* all disks end on the target pole *)
     check_eq "hanoi final heights" (of_int_array [| 0; 0; 16 |]) heights
-  done
+  done;
+  Printf.sprintf "hanoi count=%d trace=%d" !count (sum_int_array (to_int_array trace))
 
 (* paper: first 16 elements of a list, 2^20 accesses; ours: 4096*scale calls *)
 let run_listaccess ex ~scale =
@@ -141,9 +175,13 @@ let run_listaccess ex ~scale =
   in
   let vlist = of_int_list elems in
   let access16 = ex.lookup "access16" in
+  let acc = ref 0 in
   for _ = 1 to 4096 * scale do
-    check_eq "list access" (Vint expected) (call access16 vlist)
-  done
+    let r = call access16 vlist in
+    check_eq "list access" (Vint expected) r;
+    acc := !acc + as_int r
+  done;
+  Printf.sprintf "access16 acc=%d" !acc
 
 (* dot product of two 10000-element arrays, [16*scale] times *)
 let run_dotprod ex ~scale =
@@ -155,9 +193,13 @@ let run_dotprod ex ~scale =
   Array.iteri (fun i x -> expected := !expected + (x * b.(i))) a;
   let va = of_int_array a and vb = of_int_array b in
   let dotprod = ex.lookup "dotprod" in
+  let acc = ref 0 in
   for _ = 1 to 16 * scale do
-    check_eq "dotprod" (Vint !expected) (call dotprod (Vtuple [ va; vb ]))
-  done
+    let r = call dotprod (Vtuple [ va; vb ]) in
+    check_eq "dotprod" (Vint !expected) r;
+    acc := !acc + as_int r
+  done;
+  Printf.sprintf "dotprod acc=%d" !acc
 
 (* reverse a 30000-element list, [8*scale] times *)
 let run_reverse ex ~scale =
@@ -165,9 +207,15 @@ let run_reverse ex ~scale =
   let vlist = of_int_list elems in
   let expected = of_int_list (List.rev elems) in
   let reverse = ex.lookup "reverse" in
+  let acc = ref 0 and len = ref 0 in
   for _ = 1 to 8 * scale do
-    check_eq "reverse" expected (call reverse vlist)
-  done
+    let r = call reverse vlist in
+    check_eq "reverse" expected r;
+    let ints = to_int_list r in
+    len := List.length ints;
+    acc := (!acc + hash_int_list ints) mod 1000000007
+  done;
+  Printf.sprintf "reverse len=%d acc=%d" !len !acc
 
 (* filter evens out of a 10000-element list, [8*scale] times *)
 let run_filter ex ~scale =
@@ -177,9 +225,15 @@ let run_filter ex ~scale =
   let expected = of_int_list (List.filter (fun x -> x mod 2 = 0) elems) in
   let filter = ex.lookup "filter" in
   let even = Vfun (fun v -> Vbool (as_int v mod 2 = 0)) in
+  let acc = ref 0 and len = ref 0 in
   for _ = 1 to 8 * scale do
-    check_eq "filter" expected (call2 filter even vlist)
-  done
+    let r = call2 filter even vlist in
+    check_eq "filter" expected r;
+    let ints = to_int_list r in
+    len := List.length ints;
+    acc := (!acc + hash_int_list ints) mod 1000000007
+  done;
+  Printf.sprintf "filter len=%d acc=%d" !len !acc
 
 (* KMP: search a 40000-character text for patterns, [scale] rounds *)
 let run_kmp ex ~scale =
@@ -195,6 +249,7 @@ let run_kmp ex ~scale =
     in
     at 0
   in
+  let chk = ref 0 in
   for round = 1 to scale do
     let rng = make_rng (31 + round) in
     let text = Array.init 40000 (fun _ -> rng 4) in
@@ -207,6 +262,8 @@ let run_kmp ex ~scale =
       in
       let expected = reference_search text pat in
       let got = as_int (call kmp (Vtuple [ vtext; of_int_array pat ])) in
-      if got <> expected then fail "kmp: expected %d, got %d" expected got
+      if got <> expected then fail "kmp: expected %d, got %d" expected got;
+      chk := ((!chk * 131) + got + 2) mod 1000000007
     done
-  done
+  done;
+  Printf.sprintf "kmp chk=%d" !chk

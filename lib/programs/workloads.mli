@@ -1,24 +1,29 @@
 (** Workload drivers for the Section 4 experiments.
 
     Each driver builds deterministic pseudo-random inputs, runs the program
-    through a backend-agnostic executor, and verifies every result against an
+    through a backend-agnostic executor, verifies every result against an
     OCaml reference implementation (a failing run raises
-    {!Verification_failure}).  Sizes are scaled-down versions of the paper's;
-    [scale] multiplies the iteration counts. *)
+    {!Verification_failure}), and returns a deterministic one-line summary
+    of what it computed.  The summaries are the cross-backend contract: the
+    native backend's driver snippets ({!Native_drivers}) compute the same
+    lines with plain OCaml arithmetic, so a generated binary's result can
+    be compared byte-for-byte against any host backend's.  Sizes are
+    scaled-down versions of the paper's; [scale] multiplies the iteration
+    counts. *)
 
-type exec = { lookup : string -> Dml_eval.Value.t }
+type exec = Dml_eval.Backend.exec = { lookup : string -> Dml_eval.Value.t }
 
 exception Verification_failure of string
 
-val run_bcopy : exec -> scale:int -> unit
-val run_bsearch : exec -> scale:int -> unit
-val run_bubblesort : exec -> scale:int -> unit
-val run_matmult : exec -> scale:int -> unit
-val run_queens : exec -> scale:int -> unit
-val run_quicksort : exec -> scale:int -> unit
-val run_hanoi : exec -> scale:int -> unit
-val run_listaccess : exec -> scale:int -> unit
-val run_dotprod : exec -> scale:int -> unit
-val run_reverse : exec -> scale:int -> unit
-val run_filter : exec -> scale:int -> unit
-val run_kmp : exec -> scale:int -> unit
+val run_bcopy : exec -> scale:int -> string
+val run_bsearch : exec -> scale:int -> string
+val run_bubblesort : exec -> scale:int -> string
+val run_matmult : exec -> scale:int -> string
+val run_queens : exec -> scale:int -> string
+val run_quicksort : exec -> scale:int -> string
+val run_hanoi : exec -> scale:int -> string
+val run_listaccess : exec -> scale:int -> string
+val run_dotprod : exec -> scale:int -> string
+val run_reverse : exec -> scale:int -> string
+val run_filter : exec -> scale:int -> string
+val run_kmp : exec -> scale:int -> string

@@ -101,7 +101,7 @@ let test_escalation_ladder () =
       { Pipeline.default_config with Pipeline.sc_method = Solver.Fm_plain;
         sc_escalate = escalate }
     in
-    match Pipeline.check ~config Dml_programs.Sources.bcopy with
+    match Pipeline.check_s (Session.create ~options:{ Session.default_options with Session.op_solve = config } ()) Dml_programs.Sources.bcopy with
     | Ok r -> r
     | Error f -> Alcotest.failf "bcopy: %s" (Pipeline.failure_to_string f)
   in
@@ -128,7 +128,7 @@ let test_pipeline_budget_isolation () =
   (* zero fuel: obligations that need any solving work time out, each under
      its own budget; the pipeline still classifies every obligation *)
   let config = { Pipeline.default_config with Pipeline.sc_fuel = Some 0 } in
-  match Pipeline.check ~config Dml_programs.Sources.bsearch with
+  match Pipeline.check_s (Session.create ~options:{ Session.default_options with Session.op_solve = config } ()) Dml_programs.Sources.bsearch with
   | Error f -> Alcotest.failf "bsearch: %s" (Pipeline.failure_to_string f)
   | Ok r ->
       Alcotest.(check bool) "not fully valid under zero fuel" false r.Pipeline.rp_valid;
@@ -152,7 +152,7 @@ val caught = (get(a, 9) handle Subscript => ~1)
 |}
 
 let partial_report () =
-  match Pipeline.check partial_src with
+  match Pipeline.check_s (Session.create ()) partial_src with
   | Error f -> Alcotest.failf "partial program: %s" (Pipeline.failure_to_string f)
   | Ok r -> r
 
@@ -198,7 +198,7 @@ let test_degraded_cost_model () =
 let test_fully_proven_unaffected () =
   (* a fully proven program has no degraded site: the predicate is constant
      false and unchecked compilation behaves exactly as before *)
-  match Pipeline.check Dml_programs.Sources.bcopy with
+  match Pipeline.check_s (Session.create ()) Dml_programs.Sources.bcopy with
   | Error f -> Alcotest.failf "bcopy: %s" (Pipeline.failure_to_string f)
   | Ok r ->
       Alcotest.(check bool) "bcopy proves" true r.Pipeline.rp_valid;

@@ -117,7 +117,7 @@ let test_nonaffine_stable () =
 let corpus_goals () =
   List.concat_map
     (fun (b : Dml_programs.Programs.benchmark) ->
-      match Pipeline.check b.Dml_programs.Programs.source with
+      match Pipeline.check_s (Session.create ()) b.Dml_programs.Programs.source with
       | Error _ -> []
       | Ok r ->
           List.concat_map
@@ -445,7 +445,7 @@ let test_solver_hits () =
    budgets a warm cache may legitimately *improve* verdicts — hits spend no
    fuel — which is why the oracle runs unlimited.) *)
 let project ?cache src =
-  match Pipeline.check ?cache src with
+  match Pipeline.check_s (Session.create ?cache ()) src with
   | Error f -> Error (Pipeline.failure_to_string f)
   | Ok r ->
       Ok
@@ -475,7 +475,7 @@ let test_warm_pass_amortizes () =
     let before = Cache.snapshot cache in
     List.iter
       (fun (b : Dml_programs.Programs.benchmark) ->
-        match Pipeline.check ~cache b.Dml_programs.Programs.source with
+        match Pipeline.check_s (Session.create ~cache ()) b.Dml_programs.Programs.source with
         | Ok _ -> ()
         | Error f -> Alcotest.failf "static failure: %s" (Pipeline.failure_to_string f))
       Dml_programs.Programs.table_benchmarks;

@@ -1,0 +1,218 @@
+(* The native compile-to-OCaml backend, from two sides:
+
+   - source level: the generated program is grepped for the lowering the
+     paper promises — proven access sites become [Array.unsafe_get]/
+     [Array.unsafe_set], an injected unproven site keeps its out-of-line
+     check, and the always-checked [..CK] sites of kmp stay checked;
+   - binary level: every benchmark is compiled and run checked and
+     unchecked, and both binaries must report byte-identical summary lines
+     equal to the host [Compile] backend's — the differential oracle.
+
+   The binary-level tests skip (with a notice) when no OCaml compiler is
+   installed, mirroring the backend's graceful "unavailable" verdict. *)
+
+open Dml_core
+open Dml_eval
+
+let typecheck (b : Dml_programs.Programs.benchmark) =
+  match Pipeline.check_valid_s (Session.create ()) b.Dml_programs.Programs.source with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "%s: %s" b.Dml_programs.Programs.name msg
+
+let program_body ~mode ?degraded (b : Dml_programs.Programs.benchmark) =
+  let report = typecheck b in
+  Codegen.program_section
+    (Codegen.emit_program ~mode ?degraded ~instrument:false report.Pipeline.rp_tprog)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let bench name = Option.get (Dml_programs.Programs.find name)
+
+(* --- source-level lowering ------------------------------------------------ *)
+
+(* the acceptance grep: a fully proven program compiled unchecked carries
+   its array accesses inline and unsafe, and no checked access helper *)
+let test_unsafe_emission () =
+  List.iter
+    (fun name ->
+      let body = program_body ~mode:Prims.Unchecked (bench name) in
+      Alcotest.(check bool) (name ^ ": unchecked emits Array.unsafe_get") true
+        (contains body "Array.unsafe_get");
+      Alcotest.(check bool) (name ^ ": no checked reads survive") false
+        (contains body "p_sub_c"))
+    [ "bcopy"; "binary search"; "bubble sort"; "matrix mult"; "quick sort" ];
+  let body = program_body ~mode:Prims.Unchecked (bench "bcopy") in
+  Alcotest.(check bool) "bcopy: unchecked emits Array.unsafe_set" true
+    (contains body "Array.unsafe_set")
+
+let test_checked_emission () =
+  let body = program_body ~mode:Prims.Checked (bench "bcopy") in
+  Alcotest.(check bool) "checked build has no unsafe access" false
+    (contains body "Array.unsafe_");
+  Alcotest.(check bool) "checked build uses the checked helpers" true
+    (contains body "p_sub_c")
+
+(* kmp's subCK sites (Figure 5) are residual by design: they stay checked
+   even in the unchecked build *)
+let test_kmp_residual_sites () =
+  let body = program_body ~mode:Prims.Unchecked (bench "kmp") in
+  Alcotest.(check bool) "kmp keeps checked sites" true (contains body "p_sub_c");
+  Alcotest.(check bool) "kmp still eliminates proven sites" true
+    (contains body "Array.unsafe_get")
+
+(* an access the solver cannot prove: [sub(a, length(a))] is off by one *)
+let oob_source =
+  {|
+fun oob(a) = sub(a, length(a))
+where oob <| {n:nat} int array(n) -> int
+|}
+
+let oob_report () =
+  match Pipeline.check_s (Session.create ()) oob_source with
+  | Error f -> Alcotest.failf "oob: %s" (Pipeline.failure_to_string f)
+  | Ok r ->
+      Alcotest.(check bool) "oob does not typecheck" false r.Pipeline.rp_valid;
+      r
+
+(* the degradation path: the unproven site compiles to a checked access
+   even in unchecked mode, while the same site without the degradation
+   predicate would have been (unsoundly) unsafe *)
+let test_degraded_site_keeps_check () =
+  let report = oob_report () in
+  let degraded = Pipeline.degraded_pred report in
+  let section ?degraded () =
+    Codegen.program_section
+      (Codegen.emit_program ~mode:Prims.Unchecked ?degraded ~instrument:false
+         report.Pipeline.rp_tprog)
+  in
+  Alcotest.(check bool) "degraded site stays checked" true
+    (contains (section ~degraded ()) "p_sub_c");
+  Alcotest.(check bool) "without degradation the site would be unsafe" true
+    (contains (section ()) "Array.unsafe_get")
+
+(* --- binary-level differential tests ------------------------------------- *)
+
+let toolchain = lazy (Codegen.find_toolchain ())
+
+let require_toolchain () =
+  match Lazy.force toolchain with
+  | Ok tc -> tc
+  | Error msg ->
+      Printf.printf "skipping native run: %s\n%!" msg;
+      Alcotest.skip ()
+
+let host_summary mode ?degraded tprog (b : Dml_programs.Programs.benchmark) =
+  let ce = Compile.initial_fast mode ?degraded () in
+  let ce = Compile.run_program ce tprog in
+  b.Dml_programs.Programs.run { Dml_programs.Workloads.lookup = Compile.lookup ce } ~scale:1
+
+let native_summary ~mode ?degraded (b : Dml_programs.Programs.benchmark) tprog =
+  let name = b.Dml_programs.Programs.name in
+  let driver =
+    match Dml_programs.Native_drivers.find name with
+    | Some d -> d
+    | None -> Alcotest.failf "%s: no native driver" name
+  in
+  match Codegen.build_and_run ~name ~mode ?degraded ~instrument:true ~driver ~scale:1 tprog with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "%s: native build failed: %s" name msg
+
+(* the oracle: for every benchmark, the native binary's summary line equals
+   the host Compile backend's, under both disciplines *)
+let test_differential (b : Dml_programs.Programs.benchmark) () =
+  ignore (require_toolchain ());
+  let name = b.Dml_programs.Programs.name in
+  let report = typecheck b in
+  let tprog = report.Pipeline.rp_tprog in
+  let degraded = Pipeline.degraded_pred report in
+  let host = host_summary Prims.Checked tprog b in
+  let checked = native_summary ~mode:Prims.Checked b tprog in
+  Alcotest.(check string) (name ^ ": checked native = host") host checked.Codegen.nr_summary;
+  let unchecked = native_summary ~mode:Prims.Unchecked ~degraded b tprog in
+  Alcotest.(check string) (name ^ ": unchecked native = host") host
+    unchecked.Codegen.nr_summary;
+  (* the instrumented unchecked binary reports its residual checks: zero
+     everywhere except kmp's CK sites *)
+  match unchecked.Codegen.nr_dynamic with
+  | None -> Alcotest.fail (name ^ ": instrumented run reported no counters")
+  | Some dyn ->
+      if name = "kmp" then
+        Alcotest.(check bool) "kmp residual checks execute" true (dyn > 0)
+      else Alcotest.(check int) (name ^ ": no dynamic checks") 0 dyn
+
+let differential_tests =
+  List.map
+    (fun (b : Dml_programs.Programs.benchmark) ->
+      Alcotest.test_case b.Dml_programs.Programs.name `Slow (test_differential b))
+    Dml_programs.Programs.all
+
+(* the regression the paper's soundness story depends on: a degraded build
+   of an out-of-bounds program traps instead of reading out of bounds *)
+let test_oob_traps () =
+  ignore (require_toolchain ());
+  let report = oob_report () in
+  let degraded = Pipeline.degraded_pred report in
+  let driver =
+    {|
+let dml_run _dml_scale =
+  let a = Array.make 4 1 in
+  try string_of_int (v_oob a) with E_Subscript -> "trapped"
+|}
+  in
+  match
+    Codegen.build_and_run ~name:"oob" ~mode:Prims.Unchecked ~degraded ~instrument:true
+      ~driver ~scale:1 report.Pipeline.rp_tprog
+  with
+  | Error msg -> Alcotest.failf "oob: native build failed: %s" msg
+  | Ok r ->
+      Alcotest.(check string) "the degraded binary traps" "trapped" r.Codegen.nr_summary;
+      Alcotest.(check bool) "the trap was a counted dynamic check" true
+        (match r.Codegen.nr_dynamic with Some d -> d > 0 | None -> false)
+
+(* --- mangling and registry ------------------------------------------------ *)
+
+(* the driver snippets hardcode these names; a mangling change must fail
+   loudly here rather than as 12 opaque compile errors *)
+let test_mangling () =
+  Alcotest.(check string) "plain var" "v_bsearchInt" (Codegen.mangle_var "bsearchInt");
+  Alcotest.(check string) "prime survives" "v_loop'" (Codegen.mangle_var "loop'");
+  Alcotest.(check string) "cons constructor" "C_3a3a" (Codegen.mangle_con "::");
+  Alcotest.(check string) "exception" "E_Subscript" (Codegen.mangle_exn "Subscript");
+  Alcotest.(check string) "type constructor" "t_option" (Codegen.mangle_type "option")
+
+let test_registry () =
+  let key name = Option.map (fun b -> b.Backend.b_key) (Backend.find name) in
+  Alcotest.(check (option string)) "cost-model by key" (Some "cost-model")
+    (key "cost-model");
+  Alcotest.(check (option string)) "cost-model by alias" (Some "cost-model")
+    (key "cycles");
+  Alcotest.(check (option string)) "compiled by key" (Some "compiled") (key "compiled");
+  Alcotest.(check (option string)) "compiled by alias" (Some "compiled") (key "closure");
+  Alcotest.(check (option string)) "native" (Some "native") (key "native");
+  Alcotest.(check (option string)) "unknown" None (key "no-such-backend");
+  Alcotest.(check (list string)) "registration order"
+    [ "cost-model"; "compiled"; "native" ]
+    (List.map (fun b -> b.Backend.b_key) (Backend.all ()))
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "proven sites are unsafe" `Quick test_unsafe_emission;
+          Alcotest.test_case "checked build stays checked" `Quick test_checked_emission;
+          Alcotest.test_case "kmp residual sites" `Quick test_kmp_residual_sites;
+          Alcotest.test_case "degraded site keeps its check" `Quick
+            test_degraded_site_keeps_check;
+        ] );
+      ("differential (native vs host)", differential_tests);
+      ("soundness", [ Alcotest.test_case "oob program traps" `Slow test_oob_traps ]);
+      ( "api",
+        [
+          Alcotest.test_case "mangling is stable" `Quick test_mangling;
+          Alcotest.test_case "backend registry" `Quick test_registry;
+        ] );
+    ]

@@ -3,7 +3,7 @@
 open Dml_core
 
 let warnings_of src =
-  match Pipeline.check src with
+  match Pipeline.check_s (Session.create ()) src with
   | Ok r -> List.map fst r.Pipeline.rp_warnings
   | Error f -> Alcotest.failf "unexpected failure: %s" (Pipeline.failure_to_string f)
 

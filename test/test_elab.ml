@@ -1,18 +1,18 @@
 open Dml_core
 
 let check_ok name src =
-  match Pipeline.check_valid src with
+  match Pipeline.check_valid_s (Session.create ()) src with
   | Ok report -> report
   | Error msg -> Alcotest.failf "%s: %s" name msg
 
 let check_fails name src =
-  match Pipeline.check src with
+  match Pipeline.check_s (Session.create ()) src with
   | Error f -> Alcotest.failf "%s: failed before solving: %s" name (Pipeline.failure_to_string f)
   | Ok report ->
       if report.Pipeline.rp_valid then Alcotest.failf "%s: expected unproven constraints" name
 
 let check_static_error name src =
-  match Pipeline.check src with
+  match Pipeline.check_s (Session.create ()) src with
   | Error _ -> ()
   | Ok _ -> Alcotest.failf "%s: expected a static error" name
 

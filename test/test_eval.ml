@@ -4,7 +4,7 @@ open Value
 
 (* Check a program through the full pipeline, then evaluate it on a backend. *)
 let typecheck name src =
-  match Pipeline.check_valid src with
+  match Pipeline.check_valid_s (Session.create ()) src with
   | Ok report -> report.Pipeline.rp_tprog
   | Error msg -> Alcotest.failf "%s: %s" name msg
 

@@ -9,7 +9,7 @@ open Dml_eval
 open Value
 
 let typecheck name src =
-  match Pipeline.check_valid src with
+  match Pipeline.check_valid_s (Session.create ()) src with
   | Ok r -> r.Pipeline.rp_tprog
   | Error msg -> Alcotest.failf "%s: %s" name msg
 
@@ -135,7 +135,7 @@ val g = f
 
 let test_static_errors () =
   let rejected name src =
-    match Pipeline.check src with
+    match Pipeline.check_s (Session.create ()) src with
     | Error _ -> ()
     | Ok _ -> Alcotest.failf "%s: expected a static error" name
   in
@@ -159,7 +159,7 @@ val r = (1 handle 0 => 2)
 let test_handle_coverage_warnings () =
   (* handlers may be partial without a warning; unreachable arms still warn *)
   let warnings src =
-    match Pipeline.check src with
+    match Pipeline.check_s (Session.create ()) src with
     | Ok r -> List.map fst r.Pipeline.rp_warnings
     | Error f -> Alcotest.failf "%s" (Pipeline.failure_to_string f)
   in
@@ -179,7 +179,7 @@ val r = (1 handle _ => 2 | A => 3)
 let test_dependent_types_through_handle () =
   (* a handle expression can still carry index information via checking *)
   match
-    Pipeline.check_valid
+    Pipeline.check_valid_s (Session.create ())
       {|
 exception Empty
 fun safeHead(l) = (case l of x :: _ => x | nil => raise Empty)

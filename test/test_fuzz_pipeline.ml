@@ -42,7 +42,7 @@ let gen_template =
         (quad (int_range 0 3) bool (int_range 0 4) (int_range 0 5)))
 
 let verdict t =
-  match Pipeline.check (source_of t) with
+  match Pipeline.check_s (Session.create ()) (source_of t) with
   | Ok r -> r.Pipeline.rp_valid
   | Error f -> Alcotest.failf "static failure: %s" (Pipeline.failure_to_string f)
 
@@ -56,7 +56,7 @@ let prop_safe_templates_run =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~count:40 ~name:"safe templates execute" gen_template (fun t ->
          QCheck.assume (is_safe t);
-         match Pipeline.check_valid (source_of t) with
+         match Pipeline.check_valid_s (Session.create ()) (source_of t) with
          | Error _ -> false
          | Ok r ->
              let ce = Dml_eval.Compile.initial_fast Dml_eval.Prims.Checked () in
@@ -71,7 +71,7 @@ let prop_safe_templates_run =
 (* Robustness: the pipeline is a total function from source text to a
    report or a staged failure — arbitrary token soup (including unbalanced
    delimiters, stray annotations, and truncated declarations) must never
-   raise out of [Pipeline.check]. *)
+   raise out of [Pipeline.check_s]. *)
 let token_fragments =
   [|
     "fun "; "val "; "let "; "in "; "end "; "if "; "then "; "else "; "case ";
@@ -92,9 +92,9 @@ let gen_token_soup =
 
 let prop_check_total =
   QCheck_alcotest.to_alcotest
-    (QCheck.Test.make ~count:400 ~name:"Pipeline.check never raises" gen_token_soup
+    (QCheck.Test.make ~count:400 ~name:"Pipeline.check_s never raises" gen_token_soup
        (fun src ->
-         match Pipeline.check src with Ok _ -> true | Error _ -> true))
+         match Pipeline.check_s (Session.create ()) src with Ok _ -> true | Error _ -> true))
 
 let () =
   Alcotest.run "fuzz_pipeline"

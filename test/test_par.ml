@@ -15,6 +15,19 @@ module Programs = Dml_programs.Programs
 
 (* --- pool unit tests -------------------------------------------------------- *)
 
+(* the deleted optional-arg front door, expressed in session options *)
+let check_targets ?task_timeout_ms ?cache ?(shard_obligations = false) ~mode targets =
+  let options =
+    {
+      Dml_core.Session.default_options with
+      Dml_core.Session.op_jobs =
+        (match mode with Runner.Sequential -> None | Runner.Workers n -> Some n);
+      op_shard_obligations = shard_obligations;
+      op_cache = cache;
+    }
+  in
+  Runner.check_targets_s ?task_timeout_ms options targets
+
 let ok_or_fail = function
   | Ok v -> v
   | Error e -> Alcotest.failf "task failed: %s" (Pool.error_to_string e)
@@ -201,7 +214,7 @@ let doc_bytes rows = Json.to_string_pretty (Runner.batch_json ~passes:[ rows ] (
 let test_corpus_oracle () =
   let targets = corpus_targets () in
   let cache = Dml_cache.Cache.default_config in
-  let run mode shard = Runner.check_targets ~mode ~shard_obligations:shard ~cache targets in
+  let run mode shard = check_targets ~mode ~shard_obligations:shard ~cache targets in
   let base = run Runner.Sequential false in
   let base_proj = List.map proj_row base in
   let base_json = doc_bytes base in
@@ -238,8 +251,8 @@ let with_env var value f =
 let test_injected_crash () =
   let targets = corpus_targets () in
   with_env "DML_PAR_TEST_CRASH" "queen" (fun () ->
-      let r1 = Runner.check_targets ~mode:(Runner.Workers 1) targets in
-      let r4 = Runner.check_targets ~mode:(Runner.Workers 4) targets in
+      let r1 = check_targets ~mode:(Runner.Workers 1) targets in
+      let r4 = check_targets ~mode:(Runner.Workers 4) targets in
       List.iter
         (fun rows ->
           let crashed = List.find (fun r -> r.Runner.row_name = "queen") rows in
@@ -257,7 +270,7 @@ let test_injected_hang () =
   let t0 = Unix.gettimeofday () in
   with_env "DML_PAR_TEST_HANG" "list access" (fun () ->
       let rows =
-        Runner.check_targets ~mode:(Runner.Workers 2) ~task_timeout_ms:500 targets
+        check_targets ~mode:(Runner.Workers 2) ~task_timeout_ms:500 targets
       in
       let hung = List.find (fun r -> r.Runner.row_name = "list access") rows in
       Alcotest.(check bool) "hung program degrades to a timeout row" true
@@ -278,9 +291,9 @@ let test_failure_rows_match () =
         { Runner.tg_name = "unreadable"; tg_source = Error "no such file" };
       ]
   in
-  let seq = Runner.check_targets ~mode:Runner.Sequential targets in
-  let j2 = Runner.check_targets ~mode:(Runner.Workers 2) targets in
-  let sh = Runner.check_targets ~mode:(Runner.Workers 2) ~shard_obligations:true targets in
+  let seq = check_targets ~mode:Runner.Sequential targets in
+  let j2 = check_targets ~mode:(Runner.Workers 2) targets in
+  let sh = check_targets ~mode:(Runner.Workers 2) ~shard_obligations:true targets in
   Alcotest.(check (list string)) "program-sharded failure rows"
     (List.map proj_row seq) (List.map proj_row j2);
   Alcotest.(check (list string)) "obligation-sharded failure rows"

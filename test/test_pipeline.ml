@@ -5,7 +5,16 @@ open Dml_core
 open Dml_solver
 open Dml_eval
 
-let check src = Pipeline.check src
+let session_of_method method_ =
+  Session.create
+    ~options:
+      {
+        Session.default_options with
+        Session.op_solve = { Session.default_solve_config with Session.sc_method = method_ };
+      }
+    ()
+
+let check src = Pipeline.check_s (Session.create ()) src
 
 let stage src =
   match check src with
@@ -35,7 +44,7 @@ let test_metrics () =
 let test_solver_selection () =
   (* bcopy is provable only with the integral tightening rule *)
   let valid method_ =
-    match Pipeline.check ~method_ Dml_programs.Sources.bcopy with
+    match Pipeline.check_s (session_of_method method_) Dml_programs.Sources.bcopy with
     | Ok r -> r.Pipeline.rp_valid
     | Error f -> Alcotest.failf "bcopy: %s" (Pipeline.failure_to_string f)
   in
@@ -44,7 +53,7 @@ let test_solver_selection () =
   Alcotest.(check bool) "simplex does not" false (valid Solver.Simplex_rational);
   (* binary search is provable by all three (its goals are rational) *)
   let bsearch_valid method_ =
-    match Pipeline.check ~method_ Dml_programs.Sources.bsearch with
+    match Pipeline.check_s (session_of_method method_) Dml_programs.Sources.bsearch with
     | Ok r -> r.Pipeline.rp_valid
     | Error _ -> false
   in
@@ -74,7 +83,7 @@ val r = sumto(100)
 |}
   in
   let eval src =
-    match Pipeline.check_valid src with
+    match Pipeline.check_valid_s (Session.create ()) src with
     | Error msg -> Alcotest.fail msg
     | Ok r ->
         let ce = Compile.initial_fast Prims.Checked () in
@@ -133,7 +142,7 @@ let test_user_program_isolation () =
 let test_shadowing_and_scopes () =
   (* index variable shadowing across nested annotations resolves innermost *)
   match
-    Pipeline.check_valid
+    Pipeline.check_valid_s (Session.create ())
       {|
 fun outer(a) = let
   fun inner(b) = let
@@ -151,7 +160,7 @@ where outer <| {n:nat} int array(n) -> int
 let test_higher_order_dependent_argument () =
   (* passing the dependent primitive itself as a function argument *)
   match
-    Pipeline.check_valid
+    Pipeline.check_valid_s (Session.create ())
       {|
 fun apply2 f (a, i) = f(a, i)
 where apply2 <| ('a array * int -> 'a) -> 'a array * int -> 'a
@@ -163,7 +172,7 @@ val r = apply2 subCK (array(3, 7), 1)
 
 let test_mutual_recursion_with_where () =
   match
-    Pipeline.check_valid
+    Pipeline.check_valid_s (Session.create ())
       {|
 fun evenlen(nil) = true
   | evenlen(_ :: xs) = oddlen(xs)

@@ -9,7 +9,7 @@ open Dml_core
 open Dml_eval
 
 let typecheck (b : Dml_programs.Programs.benchmark) =
-  match Pipeline.check_valid b.Dml_programs.Programs.source with
+  match Pipeline.check_valid_s (Session.create ()) b.Dml_programs.Programs.source with
   | Ok r -> r
   | Error msg -> Alcotest.failf "%s: %s" b.Dml_programs.Programs.name msg
 
@@ -37,7 +37,7 @@ let test_benchmark (b : Dml_programs.Programs.benchmark) () =
   let run mode =
     let counters = Prims.new_counters () in
     let ex = compiled_exec mode ~counters tprog in
-    (try b.Dml_programs.Programs.run ex ~scale:1
+    (try ignore (b.Dml_programs.Programs.run ex ~scale:1)
      with Dml_programs.Workloads.Verification_failure msg -> Alcotest.fail msg);
     counters
   in
@@ -68,7 +68,7 @@ let test_interp_backend () =
       let b = Option.get (Dml_programs.Programs.find name) in
       let report = typecheck b in
       let ex = interp_exec Prims.Checked report.Pipeline.rp_tprog in
-      try b.Dml_programs.Programs.run ex ~scale:1
+      try ignore (b.Dml_programs.Programs.run ex ~scale:1)
       with Dml_programs.Workloads.Verification_failure msg -> Alcotest.fail msg)
     [ "queen"; "list access"; "hanoi towers" ]
 
@@ -83,7 +83,7 @@ let test_cost_model_algebra () =
       let run mode =
         let counters = Prims.new_counters () in
         let ex = cycles_exec mode counters tprog in
-        (try b.Dml_programs.Programs.run ex ~scale:1
+        (try ignore (b.Dml_programs.Programs.run ex ~scale:1)
          with Dml_programs.Workloads.Verification_failure msg -> Alcotest.fail msg);
         counters
       in
@@ -119,7 +119,7 @@ let test_table2_gains () =
             (r.Dml_programs.Tables.t23_name ^ ": unchecked wins")
             true
             (r.Dml_programs.Tables.t23_gain_pct > 0.))
-    (Dml_programs.Tables.table23 Dml_programs.Tables.Cost_model ~scale:1)
+    (Dml_programs.Tables.table23 Backend.cost_model ~scale:1)
 
 (* KMP is the one program with residual checks (the subCK sites of Figure 5) *)
 let test_kmp_residual () =
@@ -127,7 +127,7 @@ let test_kmp_residual () =
   let report = typecheck b in
   let counters = Prims.new_counters () in
   let ex = compiled_exec Prims.Unchecked ~counters report.Pipeline.rp_tprog in
-  b.Dml_programs.Programs.run ex ~scale:1;
+  ignore (b.Dml_programs.Programs.run ex ~scale:1);
   Alcotest.(check bool) "kmp keeps some dynamic checks" true (counters.Prims.dynamic_checks > 0);
   Alcotest.(check bool) "kmp eliminates most checks" true
     (counters.Prims.eliminated_checks > counters.Prims.dynamic_checks)
@@ -139,7 +139,7 @@ let test_full_elimination () =
       let report = typecheck b in
       let counters = Prims.new_counters () in
       let ex = compiled_exec Prims.Unchecked ~counters report.Pipeline.rp_tprog in
-      b.Dml_programs.Programs.run ex ~scale:1;
+      ignore (b.Dml_programs.Programs.run ex ~scale:1);
       Alcotest.(check int)
         (b.Dml_programs.Programs.name ^ ": no residual checks")
         0 counters.Prims.dynamic_checks)

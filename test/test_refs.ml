@@ -8,7 +8,7 @@ open Dml_eval
 open Value
 
 let typecheck name src =
-  match Pipeline.check_valid src with
+  match Pipeline.check_valid_s (Session.create ()) src with
   | Ok r -> r.Pipeline.rp_tprog
   | Error msg -> Alcotest.failf "%s: %s" name msg
 
@@ -76,7 +76,7 @@ val x = sumto(100)
 let test_value_restriction_refs () =
   (* ref nil must not generalise: using it at two element types is an error *)
   match
-    Pipeline.check
+    Pipeline.check_s (Session.create ())
       {|
 val cell = ref nil
 val a = (cell := 1 :: nil; !cell)
@@ -111,7 +111,7 @@ end
 |}
     "x" (Vint 3);
   (* without the guard it must be rejected *)
-  match Pipeline.check {|
+  match Pipeline.check_s (Session.create ()) {|
 val a = array(10, 3)
 val idx = ref 0
 val x = sub(a, !idx)

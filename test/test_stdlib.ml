@@ -8,7 +8,7 @@ open Value
 
 let report =
   lazy
-    (match Pipeline.check_valid Dml_programs.Stdlib_dml.source with
+    (match Pipeline.check_valid_s (Session.create ()) Dml_programs.Stdlib_dml.source with
     | Ok r -> r
     | Error msg -> Alcotest.failf "stdlib: %s" msg)
 
@@ -148,7 +148,7 @@ let test_array_utilities () =
 (* --- invariant-breaking mutants are rejected ---------------------------------- *)
 
 let rejected name src =
-  match Pipeline.check src with
+  match Pipeline.check_s (Session.create ()) src with
   | Error _ -> ()
   | Ok r ->
       if r.Pipeline.rp_valid then Alcotest.failf "%s: mutant unexpectedly accepted" name

@@ -8,7 +8,7 @@ open Dml_eval
 open Value
 
 let typecheck name src =
-  match Pipeline.check_valid src with
+  match Pipeline.check_valid_s (Session.create ()) src with
   | Ok r -> r
   | Error msg -> Alcotest.failf "%s: %s" name msg
 
@@ -45,7 +45,7 @@ let test_singleton_lengths () =
   (* literal indices are exact: in-bounds literal accesses are proven *)
   both "literal access" {| val c = string_sub("hello", 4) |} "c" (Vchar 'o');
   (* out of bounds is rejected statically *)
-  (match Pipeline.check {| val c = string_sub("hello", 5) |} with
+  (match Pipeline.check_s (Session.create ()) {| val c = string_sub("hello", 5) |} with
   | Ok r when not r.Pipeline.rp_valid -> ()
   | Ok _ -> Alcotest.fail "out-of-bounds literal access accepted"
   | Error f -> Alcotest.failf "unexpected: %s" (Pipeline.failure_to_string f));
